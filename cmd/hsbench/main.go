@@ -1,0 +1,420 @@
+// Command hsbench regenerates every table and figure of the paper's
+// evaluation on the simulated platform. Each figure is a subcommand
+// of the -fig flag:
+//
+//	hsbench -fig 3         Fig. 3 pointer (see cmd/codingtable)
+//	hsbench -fig 6         matmul GFlop/s vs size, 8 configurations
+//	hsbench -fig 7         Cholesky GFlop/s vs size, 9 implementations
+//	hsbench -fig 8         Abaqus speedups, 8 workloads × {IVB, HSW}
+//	hsbench -fig 9         standalone supernode runtimes
+//	hsbench -fig overhead  §III transfer-overhead bands
+//	hsbench -fig ompss     OmpSs backend comparison (hStreams vs CUDA)
+//	hsbench -fig rtm       §VI RTM schedules and rank scaling
+//	hsbench -fig tuning    §VI tiling/stream sweeps + design ablations
+//	hsbench -fig lu        §VI LU (DGETRF) claims + Simulia streaming comparison
+//	hsbench -fig all       everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hstreams/internal/app"
+	"hstreams/internal/chol"
+	"hstreams/internal/core"
+	"hstreams/internal/lu"
+	"hstreams/internal/magma"
+	"hstreams/internal/matmul"
+	"hstreams/internal/mklao"
+	"hstreams/internal/platform"
+	"hstreams/internal/solver"
+	"hstreams/internal/stencil"
+	"hstreams/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8, 9, overhead, ompss, rtm, tuning, lu, all")
+	flag.Parse()
+
+	runs := map[string]func(){
+		"3":        fig3,
+		"6":        fig6,
+		"7":        fig7,
+		"8":        fig8,
+		"9":        fig9,
+		"overhead": overhead,
+		"ompss":    ompssCompare,
+		"rtm":      rtm,
+		"tuning":   tuning,
+		"lu":       luClaims,
+	}
+	if *fig == "all" {
+		for _, k := range []string{"3", "6", "7", "8", "9", "overhead", "ompss", "rtm", "tuning", "lu"} {
+			runs[k]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := runs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+	f()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fig3() {
+	fmt.Println("== Fig. 3: coding comparison — run `go run ./cmd/codingtable` for the full table ==")
+	hs, err := matmul.HStreamsVariant(core.ModeSim, 10000, 2000, 4, false)
+	check(err)
+	om, err := matmul.OmpSsVariant(core.ModeSim, 10000, 2000, false)
+	check(err)
+	u40, err := matmul.OMP40UntiledVariant(core.ModeSim, 10000, false)
+	check(err)
+	t40, err := matmul.OMP40TiledVariant(core.ModeSim, 10000, 2000, false)
+	check(err)
+	cl, err := matmul.OpenCLVariant(core.ModeSim, 10000, 2000, 4, false)
+	check(err)
+	fmt.Printf("GFl/s (10K)²: hStreams %.0f (paper 916), OmpSs %.0f (762), OMP4.0 %.0f/%.0f (460/180), OpenCL %.0f (35)\n",
+		hs.GFlops, om.GFlops, u40.GFlops, t40.GFlops, cl.GFlops)
+}
+
+func newSimApp(m *platform.Machine, hostStreams int) *app.App {
+	a, err := app.Init(app.Options{
+		Machine:        m,
+		Mode:           core.ModeSim,
+		StreamsPerCard: 4,
+		HostStreams:    hostStreams,
+	})
+	check(err)
+	return a
+}
+
+// matmulTile picks the sweep tile for a size.
+func matmulTile(n int) int {
+	for _, t := range []int{2400, 2000, 1600, 1200, 800} {
+		if n%t == 0 && n/t >= 4 {
+			return t
+		}
+	}
+	return n / 4
+}
+
+func fig6() {
+	fmt.Println("== Fig. 6: hetero matmul GFlop/s vs matrix size ==")
+	sizes := []int{4800, 9600, 14400, 19200, 24000, 28800}
+	type cfg struct {
+		label   string
+		machine func() *platform.Machine
+		host    bool
+		balance bool
+	}
+	cases := []cfg{
+		{"HSW+2KNC", func() *platform.Machine { return platform.HSWPlusKNC(2) }, true, true},
+		{"HSW+1KNC", func() *platform.Machine { return platform.HSWPlusKNC(1) }, true, true},
+		{"1KNC(offl)", func() *platform.Machine { return platform.HSWPlusKNC(1) }, false, false},
+		{"HSWnative", func() *platform.Machine { return platform.HSWPlusKNC(0) }, true, true},
+		{"IVB+2KNC bal", func() *platform.Machine { return platform.IVBPlusKNC(2) }, true, true},
+		{"IVB+2KNC nobal", func() *platform.Machine { return platform.IVBPlusKNC(2) }, true, false},
+		{"IVB+1KNC bal", func() *platform.Machine { return platform.IVBPlusKNC(1) }, true, true},
+		{"IVBnative", func() *platform.Machine { return platform.IVBPlusKNC(0) }, true, true},
+	}
+	fmt.Printf("%-16s", "config")
+	for _, n := range sizes {
+		fmt.Printf("%9d", n)
+	}
+	fmt.Println()
+	for _, c := range cases {
+		fmt.Printf("%-16s", c.label)
+		for _, n := range sizes {
+			hostStreams := 0
+			if c.host {
+				hostStreams = 3
+			}
+			a := newSimApp(c.machine(), hostStreams)
+			res, err := matmul.Run(a, matmul.Config{
+				N: n, Tile: matmulTile(n), UseHost: c.host, LoadBalance: c.balance,
+			})
+			a.Fini()
+			check(err)
+			fmt.Printf("%9.0f", res.GFlops)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper endpoints (28800): 2599, 1622, 982, 902, 1878, 1192, 1165, 475")
+}
+
+func cholTile(n int) int {
+	for _, t := range []int{2400, 2000, 1600, 1200, 800, 600} {
+		if n%t == 0 && n/t >= 5 {
+			return t
+		}
+	}
+	return n / 5
+}
+
+func fig7() {
+	fmt.Println("== Fig. 7: Cholesky GFlop/s vs matrix size ==")
+	sizes := []int{4800, 9600, 14400, 19200, 24000, 28800}
+	rows := []struct {
+		label string
+		run   func(n int) float64
+	}{
+		{"hStr HSW+2KNC", func(n int) float64 {
+			r, err := chol.RunBestHetero(func() *platform.Machine { return platform.HSWPlusKNC(2) }, core.ModeSim, n, cholTile(n), 4)
+			check(err)
+			return r.GFlops
+		}},
+		{"MKLAO HSW+2KNC", func(n int) float64 {
+			r, err := mklao.Dpotrf(platform.HSWPlusKNC(2), core.ModeSim, n, false, 0)
+			check(err)
+			return r.GFlops
+		}},
+		{"Magma HSW+2KNC", func(n int) float64 {
+			r, err := magma.Dpotrf(platform.HSWPlusKNC(2), core.ModeSim, n, false, 0)
+			check(err)
+			return r.GFlops
+		}},
+		{"hStr HSW+1KNC", func(n int) float64 {
+			r, err := chol.RunBestHetero(func() *platform.Machine { return platform.HSWPlusKNC(1) }, core.ModeSim, n, cholTile(n), 4)
+			check(err)
+			return r.GFlops
+		}},
+		{"MKLAO HSW+1KNC", func(n int) float64 {
+			r, err := mklao.Dpotrf(platform.HSWPlusKNC(1), core.ModeSim, n, false, 0)
+			check(err)
+			return r.GFlops
+		}},
+		{"Magma HSW+1KNC", func(n int) float64 {
+			r, err := magma.Dpotrf(platform.HSWPlusKNC(1), core.ModeSim, n, false, 0)
+			check(err)
+			return r.GFlops
+		}},
+		{"OmpSs HSW+1KNC", func(n int) float64 {
+			r, err := chol.RunOmpSs(platform.HSWPlusKNC(1), core.ModeSim, n, cholTile(n), false, 0)
+			check(err)
+			return r.GFlops
+		}},
+		{"hStr 1KNC offl", func(n int) float64 {
+			a := newSimApp(platform.HSWPlusKNC(1), 0)
+			defer a.Fini()
+			r, err := chol.Run(a, chol.Config{N: n, Tile: cholTile(n), Panel: chol.PanelCard})
+			check(err)
+			return r.GFlops
+		}},
+		{"HSW native", func(n int) float64 {
+			r, err := chol.RunNative(platform.HSWPlusKNC(0), core.ModeSim, n, 0)
+			check(err)
+			return r.GFlops
+		}},
+	}
+	fmt.Printf("%-16s", "impl")
+	for _, n := range sizes {
+		fmt.Printf("%9d", n)
+	}
+	fmt.Println()
+	for _, row := range rows {
+		fmt.Printf("%-16s", row.label)
+		for _, n := range sizes {
+			fmt.Printf("%9.0f", row.run(n))
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper endpoints (~32000): 1971, 1743, 1637, 1373, 1356, 1015, 949, 774, 733")
+}
+
+func fig8() {
+	fmt.Println("== Fig. 8: Abaqus speedups from adding 2 KNC cards ==")
+	for _, pc := range []struct {
+		name string
+		m    *platform.Machine
+	}{
+		{"IVB", platform.IVBPlusKNC(2)},
+		{"HSW", platform.HSWPlusKNC(2)},
+	} {
+		fmt.Printf("%s host:\n", pc.name)
+		for _, w := range workload.AbaqusSuite() {
+			sp, err := solver.Fig8Speedup(pc.m, core.ModeSim, w)
+			check(err)
+			tag := "sym  "
+			if w.Unsymmetric {
+				tag = "unsym"
+			}
+			fmt.Printf("  %-4s %s  solver %.2fx  app %.2fx\n", w.Name, tag, sp.Solver, sp.App)
+		}
+	}
+	fmt.Println("paper maxima: IVB 2.61x solver / 1.99x app; HSW 1.45x / 1.22x")
+}
+
+func fig9() {
+	fmt.Println("== Fig. 9: standalone supernode factorization runtimes ==")
+	for _, c := range solver.Fig9Cases() {
+		r, err := solver.Factor(c.Mach, core.ModeSim, solver.Fig9N, solver.Fig9Tile, c.Target, false, 0)
+		check(err)
+		fmt.Printf("  %-22s %6.2f s\n", c.Label, r.Seconds.Seconds())
+	}
+	fmt.Println("paper: KNC offload 2.35 s, HSW host-as-target 2.24 s, IVB host-as-target 4.27 s")
+}
+
+func overhead() {
+	fmt.Println("== §III overheads ==")
+	l := platform.PCIe()
+	fmt.Println("transfer setup overhead vs size (paper: 20-30us under 128KB, <5% at 1MB and up):")
+	for _, sz := range []int64{4 << 10, 32 << 10, 128 << 10, 512 << 10, 1 << 20, 8 << 20, 64 << 20} {
+		fmt.Printf("  %8d KB: setup %8v, total %10v, overhead %5.1f%%\n",
+			sz>>10, l.Setup(sz), l.TransferTime(sz), 100*l.Overhead(sz))
+	}
+	fmt.Println("OmpSs-over-hStreams overhead (paper: 15-50% at n=4800-10000, converging):")
+	for _, n := range []int{4800, 7200, 9600, 14400, 24000} {
+		// Small problems run with small tiles (the regime where
+		// fully dynamic task handling hurts).
+		tile := n / 8
+		if tile > 2400 {
+			tile = 2400
+		}
+		a := newSimApp(platform.HSWPlusKNC(1), 0)
+		plain, err := chol.Run(a, chol.Config{N: n, Tile: tile, Panel: chol.PanelCard})
+		a.Fini()
+		check(err)
+		om, err := chol.RunOmpSs(platform.HSWPlusKNC(1), core.ModeSim, n, tile, false, 0)
+		check(err)
+		fmt.Printf("  n=%6d: hStreams %8v, OmpSs %8v, overhead %5.1f%%\n",
+			n, plain.Seconds, om.Seconds, 100*(om.Seconds.Seconds()/plain.Seconds.Seconds()-1))
+	}
+}
+
+func ompssCompare() {
+	fmt.Println("== §IV: OmpSs over hStreams vs over CUDA Streams (4Kx4K, 2x2 tiles) ==")
+	hs, cu, ratio, err := matmul.OmpSsBackendComparison(core.ModeSim)
+	check(err)
+	fmt.Printf("  hStreams backend: %v\n  CUDA backend:     %v\n  hStreams is %.2fx faster (paper: 1.45x)\n", hs, cu, ratio)
+}
+
+func rtm() {
+	fmt.Println("== §VI: Petrobras RTM ==")
+	cfg := stencil.Config{NX: 1024, NY: 1024, NZ: 4096, Steps: 10}
+	host := cfg
+	host.Schedule = stencil.HostOnly
+	hostRes, err := stencil.Run(platform.HSWPlusKNC(0), core.ModeSim, host)
+	check(err)
+	fmt.Printf("  %-30s %8.0f Mpt/s\n", "HSW host baseline", hostRes.MPointsPerSec)
+	for _, ranks := range []int{1, 2, 4} {
+		for _, sched := range []stencil.Schedule{stencil.SyncOffload, stencil.AsyncPipelined} {
+			c := cfg
+			c.Ranks = ranks
+			c.Schedule = sched
+			r, err := stencil.Run(platform.HSWPlusKNC(ranks), core.ModeSim, c)
+			check(err)
+			fmt.Printf("  %d rank(s) %-20v %8.0f Mpt/s  (%.2fx host)\n",
+				ranks, sched, r.MPointsPerSec, hostRes.Seconds.Seconds()/r.Seconds.Seconds())
+		}
+	}
+	fmt.Println("paper: 1.52x for 1 card, 6.02x for 4 ranks; async pipelining buys 3-10%")
+}
+
+// tuning regenerates the §VI "Within a Node: Tiling, Concurrency,
+// Balancing" exploration: tile-size and stream-count sweeps for the
+// offload Cholesky and matmul, plus the ablations this design's
+// choices rest on (FIFO-semantic pipelining, async allocation).
+func tuning() {
+	fmt.Println("== §VI: tiling / streams tuning and design ablations ==")
+	fmt.Println("Cholesky (1 KNC offload), GFlop/s by tile size:")
+	for _, n := range []int{4800, 24000} {
+		fmt.Printf("  n=%d:", n)
+		for _, tile := range []int{300, 600, 1200, 2400} {
+			if n%tile != 0 || n/tile < 4 {
+				continue
+			}
+			a := newSimApp(platform.HSWPlusKNC(1), 0)
+			r, err := chol.Run(a, chol.Config{N: n, Tile: tile, Panel: chol.PanelCard})
+			a.Fini()
+			check(err)
+			fmt.Printf("  tile %4d → %4.0f", tile, r.GFlops)
+		}
+		fmt.Println()
+	}
+	fmt.Println("matmul (1 KNC offload, n=19200), GFlop/s by stream count:")
+	for _, streams := range []int{1, 2, 4, 8} {
+		a, err := app.Init(app.Options{Machine: platform.HSWPlusKNC(1), Mode: core.ModeSim, StreamsPerCard: streams})
+		check(err)
+		r, err := matmul.Run(a, matmul.Config{N: 19200, Tile: 2400})
+		a.Fini()
+		check(err)
+		fmt.Printf("  %d stream(s) → %4.0f\n", streams, r.GFlops)
+	}
+	fmt.Println("ablation: FIFO-semantic pipelining (hetero Cholesky, n=24000, HSW+2KNC):")
+	for _, bulk := range []bool{false, true} {
+		a := newSimApp(platform.HSWPlusKNC(2), 4)
+		r, err := chol.Run(a, chol.Config{N: 24000, Tile: 2400, UseHost: true, Panel: chol.PanelHost, BulkSync: bulk})
+		a.Fini()
+		check(err)
+		label := "pipelined (out-of-order)"
+		if bulk {
+			label = "bulk-synchronous passes"
+		}
+		fmt.Printf("  %-26s %4.0f GFlop/s\n", label, r.GFlops)
+	}
+	fmt.Println("ablation: asynchronous sink allocation (§VII's forthcoming feature, 64 buffers on 2 cards):")
+	for _, async := range []bool{false, true} {
+		rt, err := core.Init(core.Config{Machine: platform.HSWPlusKNC(2), Mode: core.ModeSim, AsyncAlloc: async})
+		check(err)
+		s, err := rt.StreamCreate(rt.Card(0), 0, 61)
+		check(err)
+		var last *core.Action
+		for i := 0; i < 64; i++ {
+			b, err := rt.Alloc1D("b", 1<<20)
+			check(err)
+			last, err = s.EnqueueXferAll(b, core.ToSink)
+			check(err)
+		}
+		check(last.Wait())
+		rt.ThreadSynchronize()
+		label := "synchronous (paper's state)"
+		if async {
+			label = "asynchronous (implemented)"
+		}
+		fmt.Printf("  %-28s makespan %v\n", label, rt.Trace().Makespan())
+		rt.Fini()
+	}
+}
+
+// luClaims regenerates §VI's LU observations and the Simulia
+// hStreams-vs-CUDA-Streams normalization experiment.
+func luClaims() {
+	fmt.Println("== §VI: LU (DGETRF) and the Simulia streaming comparison ==")
+	hostN, err := lu.RunNative(platform.HSWPlusKNC(1), core.ModeSim, 8000, -1, 0)
+	check(err)
+	cardN, err := lu.RunNative(platform.HSWPlusKNC(1), core.ModeSim, 8000, 0, 0)
+	check(err)
+	fmt.Printf("untiled DGETRF n=8000: host %.0f GF/s vs coprocessor %.0f GF/s (paper: host wins)\n",
+		hostN.GFlops, cardN.GFlops)
+	for _, n := range []int{3000, 8000, 16000} {
+		tile := n / 5
+		if n >= 8000 {
+			tile = 2000
+		}
+		a, err := app.Init(app.Options{Machine: platform.HSWPlusKNC(1), Mode: core.ModeSim, StreamsPerCard: 4, HostStreams: 3})
+		check(err)
+		tl, err := lu.RunTiled(a, lu.Config{N: n, Tile: tile, UseHost: true, PanelOnHost: true})
+		a.Fini()
+		check(err)
+		nat, err := lu.RunNative(platform.HSWPlusKNC(1), core.ModeSim, n, -1, 0)
+		check(err)
+		fmt.Printf("  n=%6d: untiled host %4.0f GF/s, tiled hetero %4.0f GF/s\n", n, nat.GFlops, tl.GFlops)
+	}
+	fmt.Println("Simulia streaming comparison (supernode LDLT; paper: raw K40x 1.12-1.27x, normalized KNC 1.03-1.28x):")
+	for _, n := range []int{9600, 13200} {
+		cmp, err := solver.CompareStreaming(core.ModeSim, n, n/8)
+		check(err)
+		fmt.Printf("  n=%6d: hStreams/KNC %8v, CUDA/K40x %8v, raw K40x advantage %.2fx, normalized KNC advantage %.2fx\n",
+			n, cmp.HStreamsSeconds, cmp.CUDASeconds, cmp.RawK40Advantage, cmp.NormalizedKNCAdvantage)
+	}
+}

@@ -1,0 +1,57 @@
+// Abaqus reproduces the Simulia Abaqus/Standard experiments: the
+// Fig. 9 standalone supernode factorization (one dense LDLᵀ front on
+// a KNC card, the HSW host or the IVB host with the paper's stream
+// layouts) and the Fig. 8 workload speedups from adding two MIC cards.
+//
+// Run: go run ./examples/abaqus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+	"hstreams/internal/solver"
+	"hstreams/internal/workload"
+)
+
+func main() {
+	// Real-mode validation of the tiled LDLᵀ.
+	target := solver.Target{UseHost: true, HostStreams: 2, HostCoresPerStream: 4, PanelOnHost: true}
+	if _, err := solver.Factor(platform.HSWPlusKNC(0), core.ModeReal, 60, 12, target, true, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("real-mode tiled LDLT verified against the reference factorization")
+
+	fmt.Printf("\nFig. 9 — standalone supernode (n = %d), paper: 2.35 / 2.24 / 4.27 s:\n", solver.Fig9N)
+	for _, c := range solver.Fig9Cases() {
+		r, err := solver.Factor(c.Mach, core.ModeSim, solver.Fig9N, solver.Fig9Tile, c.Target, false, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %6.2f s  (%5.0f GFlop/s)\n", c.Label, r.Seconds.Seconds(), r.GFlops)
+	}
+
+	fmt.Println("\nFig. 8 — speedups from adding 2 KNC cards (solver / application):")
+	for _, pc := range []struct {
+		name string
+		m    *platform.Machine
+	}{
+		{"IVB", platform.IVBPlusKNC(2)},
+		{"HSW", platform.HSWPlusKNC(2)},
+	} {
+		fmt.Printf("  %s host:\n", pc.name)
+		for _, w := range workload.AbaqusSuite() {
+			sp, err := solver.Fig8Speedup(pc.m, core.ModeSim, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tag := ""
+			if w.Unsymmetric {
+				tag = " (unsym)"
+			}
+			fmt.Printf("    %-4s%-8s solver %.2f×   app %.2f×\n", w.Name, tag, sp.Solver, sp.App)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Cholesky runs the paper's heterogeneous tiled Cholesky (Fig. 5) and
+// the Fig. 7 implementation comparison: hetero hStreams vs. MKL-AO
+// style bulk-synchronous automatic offload vs. the MAGMA hybrid vs.
+// OmpSs vs. pure offload vs. host native.
+//
+// Run: go run ./examples/cholesky [-n 24000] [-tile 2400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hstreams"
+	"hstreams/internal/chol"
+	"hstreams/internal/core"
+	"hstreams/internal/magma"
+	"hstreams/internal/mklao"
+	"hstreams/internal/platform"
+)
+
+func main() {
+	n := flag.Int("n", 24000, "matrix size for the Sim-mode comparison")
+	tile := flag.Int("tile", 2400, "tile size")
+	flag.Parse()
+
+	// Real-mode validation.
+	a, err := hstreams.AppInit(hstreams.AppOptions{
+		Machine:        hstreams.HSWPlusKNC(1),
+		Mode:           hstreams.ModeReal,
+		StreamsPerCard: 2,
+		HostStreams:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := chol.Run(a, chol.Config{N: 96, Tile: 24, UseHost: true, Panel: chol.PanelHost, Verify: true})
+	a.Fini()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("real-mode 96×96 hetero Cholesky verified in %v\n\n", res.Seconds)
+
+	hetero := func(cards int) float64 {
+		ap, err := hstreams.AppInit(hstreams.AppOptions{
+			Machine:        platform.HSWPlusKNC(cards),
+			Mode:           core.ModeSim,
+			StreamsPerCard: 4,
+			HostStreams:    4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ap.Fini()
+		r, err := chol.Run(ap, chol.Config{N: *n, Tile: *tile, UseHost: true, Panel: chol.PanelHost})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r.GFlops
+	}
+	fmt.Printf("Fig. 7 reproduction, n = %d, tile = %d:\n", *n, *tile)
+	fmt.Printf("  %-26s %7.0f GFlop/s\n", "hStr: HSW + 2 KNC", hetero(2))
+
+	ao2, err := mklao.Dpotrf(platform.HSWPlusKNC(2), core.ModeSim, *n, false, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-26s %7.0f GFlop/s\n", "MKL AO: HSW + 2 KNC", ao2.GFlops)
+
+	mg2, err := magma.Dpotrf(platform.HSWPlusKNC(2), core.ModeSim, *n, false, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-26s %7.0f GFlop/s\n", "Magma: HSW + 2 KNC", mg2.GFlops)
+	fmt.Printf("  %-26s %7.0f GFlop/s\n", "hStr: HSW + 1 KNC", hetero(1))
+
+	om, err := chol.RunOmpSs(platform.HSWPlusKNC(1), core.ModeSim, *n, *tile, false, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-26s %7.0f GFlop/s\n", "OmpSs-hStr: HSW + 1 KNC", om.GFlops)
+
+	offApp, err := hstreams.AppInit(hstreams.AppOptions{
+		Machine: platform.HSWPlusKNC(1), Mode: core.ModeSim, StreamsPerCard: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	off, err := chol.Run(offApp, chol.Config{N: *n, Tile: *tile, Panel: chol.PanelCard})
+	offApp.Fini()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-26s %7.0f GFlop/s\n", "hStr: 1 KNC (offload)", off.GFlops)
+
+	nat, err := chol.RunNative(platform.HSWPlusKNC(0), core.ModeSim, *n, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-26s %7.0f GFlop/s\n", "HSW native (MKL)", nat.GFlops)
+}

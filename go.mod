@@ -1,0 +1,3 @@
+module hstreams
+
+go 1.22

@@ -1,0 +1,122 @@
+// Package hstreams is a Go implementation of hetero Streams
+// (hStreams), the heterogeneous streaming library introduced in
+// "Heterogeneous Streaming" (Newburn et al., IPDPSW 2016): a FIFO
+// streaming, task-queue abstraction for heterogeneous platforms built
+// from three abstractions —
+//
+//   - Domains: sets of computing resources sharing coherent memory
+//     (the host CPU, each coprocessor card);
+//   - Streams: task queues whose source enqueues compute, data
+//     transfer and synchronization actions and whose sink (a domain +
+//     core range) executes them — out of order whenever operands
+//     permit, while preserving the sequential FIFO semantic;
+//   - Buffers: memory in a unified source proxy address space,
+//     instantiated per domain.
+//
+// The original system drove Intel Xeon Phi (KNC) coprocessors over
+// PCIe; that hardware is gone, so this implementation runs in two
+// modes sharing one runtime: Real mode executes kernels and transfers
+// for real on goroutines (with the paper's hStreams→COI→SCIF layering
+// as the actual code path), and Sim mode schedules the identical
+// action graph on a virtual clock with a calibrated cost model, which
+// is how the paper's experiments are reproduced at full scale.
+//
+// This package is a thin facade over the implementation packages; see
+// DESIGN.md for the system inventory.
+package hstreams
+
+import (
+	"hstreams/internal/app"
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+// Execution modes.
+const (
+	// ModeReal executes kernels and transfers for real.
+	ModeReal = core.ModeReal
+	// ModeSim schedules on a virtual clock using the cost model.
+	ModeSim = core.ModeSim
+)
+
+// Operand access modes.
+const (
+	// In marks a read-only operand.
+	In = core.In
+	// Out marks a write-only operand.
+	Out = core.Out
+	// InOut marks a read-write operand.
+	InOut = core.InOut
+)
+
+// Transfer directions.
+const (
+	// ToSink moves source-instance bytes to the sink instance.
+	ToSink = core.ToSink
+	// ToSource moves sink-instance bytes back to the source.
+	ToSource = core.ToSource
+)
+
+// Core types, re-exported.
+type (
+	// Runtime is an initialized hStreams library instance.
+	Runtime = core.Runtime
+	// Config configures Init.
+	Config = core.Config
+	// Mode selects the execution back end.
+	Mode = core.Mode
+	// Domain is a physical domain (host or card).
+	Domain = core.Domain
+	// Stream is a task queue bound to a domain's cores.
+	Stream = core.Stream
+	// Buf is a buffer in the source proxy address space.
+	Buf = core.Buf
+	// Operand declares a byte range and its access mode.
+	Operand = core.Operand
+	// Access is an operand access mode.
+	Access = core.Access
+	// Action is an enqueued unit of work; it doubles as an event.
+	Action = core.Action
+	// Kernel is a sink-side compute entry point.
+	Kernel = core.Kernel
+	// KernelCtx carries a kernel invocation's inputs.
+	KernelCtx = core.KernelCtx
+	// XferDir selects a transfer direction.
+	XferDir = core.XferDir
+)
+
+// App-API types (the convenience layer, hStreams' "app API").
+type (
+	// App wraps a runtime with per-domain stream sets.
+	App = app.App
+	// AppOptions configures AppInit.
+	AppOptions = app.Options
+)
+
+// Machine descriptions (Fig. 2 of the paper).
+type (
+	// Machine is a host plus cards platform description.
+	Machine = platform.Machine
+	// DomainSpec describes one physical domain.
+	DomainSpec = platform.DomainSpec
+	// Cost describes a compute task for the Sim-mode duration model.
+	Cost = platform.Cost
+)
+
+// Init brings up the library on a machine (hStreams_Init +
+// enumeration).
+func Init(cfg Config) (*Runtime, error) { return core.Init(cfg) }
+
+// AppInit brings up the runtime and evenly divides domains into
+// streams (hStreams_app_init).
+func AppInit(opt AppOptions) (*App, error) { return app.Init(opt) }
+
+// Built-in machine configurations from the paper's testbed.
+var (
+	// HSWPlusKNC builds a Haswell host with n KNC cards.
+	HSWPlusKNC = platform.HSWPlusKNC
+	// IVBPlusKNC builds an Ivy Bridge host with n KNC cards.
+	IVBPlusKNC = platform.IVBPlusKNC
+	// HSWPlusK40 builds a Haswell host with n K40x GPUs.
+	HSWPlusK40 = platform.HSWPlusK40
+)

@@ -1,0 +1,85 @@
+// Package apistat counts programming-model API usage. The paper's
+// Fig. 3 compares models by unique APIs and total API calls for the
+// same tiled matrix multiply; every model package in this repository
+// reports its calls through a Counter so cmd/codingtable can measure
+// those rows from running code instead of quoting them.
+package apistat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter tallies API calls by name. The zero value is ready to use.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// Hit records one call of the named API.
+func (c *Counter) Hit(name string) {
+	c.mu.Lock()
+	if c.counts == nil {
+		c.counts = make(map[string]int)
+	}
+	c.counts[name]++
+	c.mu.Unlock()
+}
+
+// Unique returns the number of distinct APIs used.
+func (c *Counter) Unique() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.counts)
+}
+
+// Total returns the total number of API calls.
+func (c *Counter) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := 0
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
+
+// Count returns the calls recorded for one API.
+func (c *Counter) Count(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Names returns the distinct API names, sorted.
+func (c *Counter) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.counts))
+	for n := range c.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all tallies.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.counts = nil
+	c.mu.Unlock()
+}
+
+// String renders "name×count" pairs for reports.
+func (c *Counter) String() string {
+	var sb strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s×%d", n, c.Count(n))
+	}
+	return sb.String()
+}

@@ -1,0 +1,196 @@
+package app
+
+import (
+	"testing"
+
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+func simApp(t *testing.T, cards, streamsPerCard, hostStreams int) *App {
+	t.Helper()
+	a, err := Init(Options{
+		Machine:        platform.HSWPlusKNC(cards),
+		Mode:           core.ModeSim,
+		StreamsPerCard: streamsPerCard,
+		HostStreams:    hostStreams,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Fini)
+	return a
+}
+
+func TestEvenPartition(t *testing.T) {
+	a := simApp(t, 1, 4, 3)
+	card := a.CardStreams(0)
+	if len(card) != 4 {
+		t.Fatalf("card streams = %d, want 4", len(card))
+	}
+	// KNC has 61 cores → widths 16,15,15,15 covering [0,61) without
+	// overlap.
+	total, next := 0, 0
+	for i, s := range card {
+		w := s.Width()
+		if w != 15 && w != 16 {
+			t.Fatalf("stream %d width = %d", i, w)
+		}
+		total += w
+		next += w
+	}
+	if total != 61 {
+		t.Fatalf("card widths sum to %d, want 61", total)
+	}
+	host := a.HostStreams()
+	if len(host) != 3 {
+		t.Fatalf("host streams = %d, want 3", len(host))
+	}
+	hostTotal := 0
+	for _, s := range host {
+		hostTotal += s.Width()
+	}
+	if hostTotal != a.RT.Host().Spec().Cores() {
+		t.Fatalf("host widths sum to %d, want %d", hostTotal, a.RT.Host().Spec().Cores())
+	}
+}
+
+func TestHostCoresCap(t *testing.T) {
+	a, err := Init(Options{
+		Machine:     platform.HSWPlusKNC(0),
+		Mode:        core.ModeSim,
+		HostStreams: 3,
+		HostCores:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Fini()
+	for _, s := range a.HostStreams() {
+		if s.Width() != 3 {
+			t.Fatalf("width = %d, want 3", s.Width())
+		}
+	}
+}
+
+func TestNoHostStreamsByDefault(t *testing.T) {
+	a := simApp(t, 2, 2, 0)
+	if len(a.HostStreams()) != 0 {
+		t.Fatal("host streams created without being requested")
+	}
+	doms := a.ComputeDomains()
+	if len(doms) != 2 {
+		t.Fatalf("compute domains = %d, want 2 (cards only)", len(doms))
+	}
+	for _, d := range doms {
+		if d.IsHost() {
+			t.Fatal("host listed as compute domain")
+		}
+	}
+	if _, err := a.NextStream(a.RT.Host()); err != ErrNoStreams {
+		t.Fatalf("NextStream(host) err = %v, want ErrNoStreams", err)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	a := simApp(t, 1, 3, 0)
+	d := a.RT.Card(0)
+	seen := map[int]int{}
+	for i := 0; i < 9; i++ {
+		s, err := a.NextStream(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[s.ID()]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round robin used %d streams, want 3", len(seen))
+	}
+	for id, n := range seen {
+		if n != 3 {
+			t.Fatalf("stream %d used %d times, want 3", id, n)
+		}
+	}
+}
+
+func TestAllStreams(t *testing.T) {
+	a := simApp(t, 2, 2, 1)
+	all := a.AllStreams()
+	if len(all) != 1+2*2 {
+		t.Fatalf("AllStreams = %d, want 5", len(all))
+	}
+	if !all[0].Domain().IsHost() {
+		t.Fatal("host stream must come first")
+	}
+}
+
+func TestTooManyStreamsRejected(t *testing.T) {
+	if _, err := Init(Options{
+		Machine:        platform.HSWPlusKNC(1),
+		Mode:           core.ModeSim,
+		StreamsPerCard: 62, // KNC has 61 cores
+	}); err == nil {
+		t.Fatal("oversubscribed partition accepted")
+	}
+}
+
+func TestDefaultStreamsPerCard(t *testing.T) {
+	a, err := Init(Options{Machine: platform.HSWPlusKNC(1), Mode: core.ModeSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Fini()
+	if len(a.CardStreams(0)) != 1 {
+		t.Fatal("default must be one stream per card")
+	}
+	if a.CardStreams(0)[0].Width() != 61 {
+		t.Fatal("single stream must own all cores")
+	}
+}
+
+func TestAppRealModeEndToEnd(t *testing.T) {
+	a, err := Init(Options{
+		Machine:        platform.HSWPlusKNC(1),
+		Mode:           core.ModeReal,
+		StreamsPerCard: 2,
+		HostStreams:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Fini()
+	a.RT.RegisterKernel("inc", func(ctx *core.KernelCtx) {
+		for i := range ctx.Ops[0] {
+			ctx.Ops[0][i]++
+		}
+	})
+	b, err := a.RT.Alloc1D("b", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		s, err := a.NextStream(a.RT.Card(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := int64(c * 64)
+		if _, err := s.EnqueueXfer(b, lo, 64, core.ToSink); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.EnqueueCompute("inc", nil, []core.Operand{b.Range(lo, 64, core.InOut)}, platform.Cost{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.EnqueueXfer(b, lo, 64, core.ToSource); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.RT.ThreadSynchronize()
+	if err := a.RT.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b.HostBytes() {
+		if v != 1 {
+			t.Fatalf("byte %d = %d, want 1", i, v)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+// Package blas implements the double-precision level-3 BLAS and
+// LAPACK-style factorization kernels the applications are built on:
+// DGEMM, DSYRK, DTRSM, DPOTF2/DPOTRF and a supernode LDLᵀ. The paper
+// runs these through Intel MKL; here they are pure Go, written
+// against column-major storage with explicit leading dimensions so
+// the tiled algorithms can operate on views without copying.
+//
+// The routines follow the netlib reference semantics (including alpha
+// and beta scaling and triangular-side conventions) and panic on
+// malformed dimensions, mirroring BLAS xerbla behavior.
+package blas
+
+import "fmt"
+
+// Side selects which side a triangular matrix multiplies from.
+type Side int
+
+const (
+	// Left solves op(A)·X = αB.
+	Left Side = iota
+	// Right solves X·op(A) = αB.
+	Right
+)
+
+// Uplo selects the referenced triangle.
+type Uplo int
+
+const (
+	// Lower references the lower triangle.
+	Lower Uplo = iota
+	// Upper references the upper triangle.
+	Upper
+)
+
+// Trans selects transposition.
+type Trans int
+
+const (
+	// NoTrans uses A as stored.
+	NoTrans Trans = iota
+	// T uses Aᵀ.
+	T
+)
+
+// Diag declares whether the triangular diagonal is implicitly unit.
+type Diag int
+
+const (
+	// NonUnit uses the stored diagonal.
+	NonUnit Diag = iota
+	// Unit assumes an implicit unit diagonal.
+	Unit
+)
+
+func checkDims(cond bool, format string, args ...interface{}) {
+	if !cond {
+		panic("blas: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// Dgemm computes C := α·op(A)·op(B) + β·C where op(A) is m×k and
+// op(B) is k×n.
+func Dgemm(transA, transB Trans, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	checkDims(m >= 0 && n >= 0 && k >= 0, "dgemm: negative dimension %d,%d,%d", m, n, k)
+	rowsA, rowsB := m, k
+	if transA == T {
+		rowsA = k
+	}
+	if transB == T {
+		rowsB = n
+	}
+	checkDims(lda >= max(1, rowsA), "dgemm: lda %d < %d", lda, rowsA)
+	checkDims(ldb >= max(1, rowsB), "dgemm: ldb %d < %d", ldb, rowsB)
+	checkDims(ldc >= max(1, m), "dgemm: ldc %d < %d", ldc, m)
+	if m == 0 || n == 0 {
+		return
+	}
+
+	// Scale C.
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		// C[:,j] += α·B[l,j]·A[:,l]  (axpy over columns of A)
+		for j := 0; j < n; j++ {
+			cj := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				f := alpha * b[l+j*ldb]
+				if f == 0 {
+					continue
+				}
+				al := a[l*lda : l*lda+m]
+				for i := range cj {
+					cj[i] += f * al[i]
+				}
+			}
+		}
+	case transA == T && transB == NoTrans:
+		// C[i,j] += α·dot(A[:,i], B[:,j])
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+k]
+			for i := 0; i < m; i++ {
+				ai := a[i*lda : i*lda+k]
+				var s float64
+				for l := range bj {
+					s += ai[l] * bj[l]
+				}
+				c[i+j*ldc] += alpha * s
+			}
+		}
+	case transA == NoTrans && transB == T:
+		// C[:,j] += α·B[j,l]·A[:,l]
+		for j := 0; j < n; j++ {
+			cj := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				f := alpha * b[j+l*ldb]
+				if f == 0 {
+					continue
+				}
+				al := a[l*lda : l*lda+m]
+				for i := range cj {
+					cj[i] += f * al[i]
+				}
+			}
+		}
+	default: // T, T
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				ai := a[i*lda : i*lda+k]
+				var s float64
+				for l := 0; l < k; l++ {
+					s += ai[l] * b[j+l*ldb]
+				}
+				c[i+j*ldc] += alpha * s
+			}
+		}
+	}
+}
+
+// Dsyrk computes the symmetric rank-k update
+// C := α·A·Aᵀ + β·C (trans == NoTrans, A is n×k) or
+// C := α·Aᵀ·A + β·C (trans == T, A is k×n),
+// referencing only the uplo triangle of C.
+func Dsyrk(uplo Uplo, trans Trans, n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	checkDims(n >= 0 && k >= 0, "dsyrk: negative dimension %d,%d", n, k)
+	rowsA := n
+	if trans == T {
+		rowsA = k
+	}
+	checkDims(lda >= max(1, rowsA), "dsyrk: lda %d < %d", lda, rowsA)
+	checkDims(ldc >= max(1, n), "dsyrk: ldc %d < %d", ldc, n)
+	if n == 0 {
+		return
+	}
+	lo := func(j int) (int, int) { // referenced row range of column j
+		if uplo == Lower {
+			return j, n
+		}
+		return 0, j + 1
+	}
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			s, e := lo(j)
+			for i := s; i < e; i++ {
+				if beta == 0 {
+					c[i+j*ldc] = 0
+				} else {
+					c[i+j*ldc] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	if trans == NoTrans {
+		for j := 0; j < n; j++ {
+			s, e := lo(j)
+			for l := 0; l < k; l++ {
+				f := alpha * a[j+l*lda]
+				if f == 0 {
+					continue
+				}
+				al := a[l*lda:]
+				for i := s; i < e; i++ {
+					c[i+j*ldc] += f * al[i]
+				}
+			}
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			s, e := lo(j)
+			aj := a[j*lda : j*lda+k]
+			for i := s; i < e; i++ {
+				ai := a[i*lda : i*lda+k]
+				var sum float64
+				for l := range aj {
+					sum += ai[l] * aj[l]
+				}
+				c[i+j*ldc] += alpha * sum
+			}
+		}
+	}
+}
+
+// Dtrsm solves op(A)·X = α·B (side == Left) or X·op(A) = α·B
+// (side == Right) for X, overwriting B. A is the uplo triangle
+// (m×m for Left, n×n for Right); B is m×n.
+func Dtrsm(side Side, uplo Uplo, transA Trans, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	checkDims(m >= 0 && n >= 0, "dtrsm: negative dimension %d,%d", m, n)
+	ka := m
+	if side == Right {
+		ka = n
+	}
+	checkDims(lda >= max(1, ka), "dtrsm: lda %d < %d", lda, ka)
+	checkDims(ldb >= max(1, m), "dtrsm: ldb %d < %d", ldb, m)
+	if m == 0 || n == 0 {
+		return
+	}
+	nounit := diag == NonUnit
+	if alpha == 0 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] = 0
+			}
+		}
+		return
+	}
+
+	switch {
+	case side == Left && transA == NoTrans && uplo == Upper:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			if alpha != 1 {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for kk := m - 1; kk >= 0; kk-- {
+				if bj[kk] == 0 {
+					continue
+				}
+				if nounit {
+					bj[kk] /= a[kk+kk*lda]
+				}
+				f := bj[kk]
+				ak := a[kk*lda:]
+				for i := 0; i < kk; i++ {
+					bj[i] -= f * ak[i]
+				}
+			}
+		}
+	case side == Left && transA == NoTrans && uplo == Lower:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			if alpha != 1 {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for kk := 0; kk < m; kk++ {
+				if bj[kk] == 0 {
+					continue
+				}
+				if nounit {
+					bj[kk] /= a[kk+kk*lda]
+				}
+				f := bj[kk]
+				ak := a[kk*lda:]
+				for i := kk + 1; i < m; i++ {
+					bj[i] -= f * ak[i]
+				}
+			}
+		}
+	case side == Left && transA == T && uplo == Upper:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for i := 0; i < m; i++ {
+				ai := a[i*lda : i*lda+i]
+				t := alpha * bj[i]
+				for kk := range ai {
+					t -= ai[kk] * bj[kk]
+				}
+				if nounit {
+					t /= a[i+i*lda]
+				}
+				bj[i] = t
+			}
+		}
+	case side == Left && transA == T && uplo == Lower:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for i := m - 1; i >= 0; i-- {
+				ai := a[i*lda:]
+				t := alpha * bj[i]
+				for kk := i + 1; kk < m; kk++ {
+					t -= ai[kk] * bj[kk]
+				}
+				if nounit {
+					t /= a[i+i*lda]
+				}
+				bj[i] = t
+			}
+		}
+	case side == Right && transA == NoTrans && uplo == Upper:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			if alpha != 1 {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for kk := 0; kk < j; kk++ {
+				f := a[kk+j*lda]
+				if f == 0 {
+					continue
+				}
+				bk := b[kk*ldb : kk*ldb+m]
+				for i := range bj {
+					bj[i] -= f * bk[i]
+				}
+			}
+			if nounit {
+				f := 1 / a[j+j*lda]
+				for i := range bj {
+					bj[i] *= f
+				}
+			}
+		}
+	case side == Right && transA == NoTrans && uplo == Lower:
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			if alpha != 1 {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for kk := j + 1; kk < n; kk++ {
+				f := a[kk+j*lda]
+				if f == 0 {
+					continue
+				}
+				bk := b[kk*ldb : kk*ldb+m]
+				for i := range bj {
+					bj[i] -= f * bk[i]
+				}
+			}
+			if nounit {
+				f := 1 / a[j+j*lda]
+				for i := range bj {
+					bj[i] *= f
+				}
+			}
+		}
+	case side == Right && transA == T && uplo == Upper:
+		for kk := n - 1; kk >= 0; kk-- {
+			bk := b[kk*ldb : kk*ldb+m]
+			if nounit {
+				f := 1 / a[kk+kk*lda]
+				for i := range bk {
+					bk[i] *= f
+				}
+			}
+			for j := 0; j < kk; j++ {
+				f := a[j+kk*lda]
+				if f == 0 {
+					continue
+				}
+				bj := b[j*ldb : j*ldb+m]
+				for i := range bj {
+					bj[i] -= f * bk[i]
+				}
+			}
+			if alpha != 1 {
+				for i := range bk {
+					bk[i] *= alpha
+				}
+			}
+		}
+	default: // Right, T, Lower
+		for kk := 0; kk < n; kk++ {
+			bk := b[kk*ldb : kk*ldb+m]
+			if nounit {
+				f := 1 / a[kk+kk*lda]
+				for i := range bk {
+					bk[i] *= f
+				}
+			}
+			for j := kk + 1; j < n; j++ {
+				f := a[j+kk*lda]
+				if f == 0 {
+					continue
+				}
+				bj := b[j*ldb : j*ldb+m]
+				for i := range bj {
+					bj[i] -= f * bk[i]
+				}
+			}
+			if alpha != 1 {
+				for i := range bk {
+					bk[i] *= alpha
+				}
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

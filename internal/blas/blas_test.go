@@ -1,0 +1,451 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hstreams/internal/matrix"
+)
+
+// naiveGemm is the element-wise reference for all Dgemm variants.
+func naiveGemm(transA, transB Trans, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	at := func(i, l int) float64 {
+		if transA == NoTrans {
+			return a[i+l*lda]
+		}
+		return a[l+i*lda]
+	}
+	bt := func(l, j int) float64 {
+		if transB == NoTrans {
+			return b[l+j*ldb]
+		}
+		return b[j+l*ldb]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += at(i, l) * bt(l, j)
+			}
+			c[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+		}
+	}
+}
+
+func randSlice(n int, rng *rand.Rand) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 2*rng.Float64() - 1
+	}
+	return s
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		if x := math.Abs(a[i] - b[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func TestDgemmAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ta := range []Trans{NoTrans, T} {
+		for _, tb := range []Trans{NoTrans, T} {
+			for trial := 0; trial < 5; trial++ {
+				m, n, k := rng.Intn(20)+1, rng.Intn(20)+1, rng.Intn(20)+1
+				alpha := float64(rng.Intn(3)) - 1
+				beta := float64(rng.Intn(3)) - 1
+				lda, ldb, ldc := m+rng.Intn(3), k+rng.Intn(3), m+rng.Intn(3)
+				if ta == T {
+					lda = k + rng.Intn(3)
+				}
+				if tb == T {
+					ldb = n + rng.Intn(3)
+				}
+				a := randSlice(lda*max(m, k), rng)
+				b := randSlice(ldb*max(k, n), rng)
+				c := randSlice(ldc*n, rng)
+				want := append([]float64(nil), c...)
+				naiveGemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, want, ldc)
+				Dgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+				if d := maxAbsDiff(c, want); d > 1e-12 {
+					t.Fatalf("dgemm(%v,%v) m=%d n=%d k=%d α=%v β=%v: diff %g", ta, tb, m, n, k, alpha, beta, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDgemmDegenerate(t *testing.T) {
+	// Zero dimensions must be no-ops; beta must still apply when
+	// k == 0.
+	c := []float64{1, 2, 3, 4}
+	Dgemm(NoTrans, NoTrans, 2, 2, 0, 5, nil, 2, nil, 1, 2, c, 2)
+	for i, want := range []float64{2, 4, 6, 8} {
+		if c[i] != want {
+			t.Fatalf("c[%d] = %v, want %v", i, c[i], want)
+		}
+	}
+	Dgemm(NoTrans, NoTrans, 0, 0, 0, 1, nil, 1, nil, 1, 1, nil, 1)
+}
+
+func TestDgemmPanicsOnBadLD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad lda")
+		}
+	}()
+	Dgemm(NoTrans, NoTrans, 4, 4, 4, 1, make([]float64, 16), 2, make([]float64, 16), 4, 0, make([]float64, 16), 4)
+}
+
+func TestDsyrkMatchesDgemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, uplo := range []Uplo{Lower, Upper} {
+		for _, tr := range []Trans{NoTrans, T} {
+			n, k := 13, 7
+			lda := n
+			if tr == T {
+				lda = k
+			}
+			a := randSlice(lda*max(n, k), rng)
+			c := randSlice(n*n, rng)
+			cRef := append([]float64(nil), c...)
+			// Reference: full product via dgemm, then compare only
+			// the referenced triangle; the other triangle must be
+			// untouched.
+			if tr == NoTrans {
+				naiveGemm(NoTrans, T, n, n, k, 1.5, a, lda, a, lda, 0.5, cRef, n)
+			} else {
+				naiveGemm(T, NoTrans, n, n, k, 1.5, a, lda, a, lda, 0.5, cRef, n)
+			}
+			orig := append([]float64(nil), c...)
+			Dsyrk(uplo, tr, n, k, 1.5, a, lda, 0.5, c, n)
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+					if inTri {
+						if math.Abs(c[i+j*n]-cRef[i+j*n]) > 1e-12 {
+							t.Fatalf("dsyrk(%v,%v) [%d,%d] = %v, want %v", uplo, tr, i, j, c[i+j*n], cRef[i+j*n])
+						}
+					} else if c[i+j*n] != orig[i+j*n] {
+						t.Fatalf("dsyrk(%v,%v) touched opposite triangle at [%d,%d]", uplo, tr, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// triMat expands the referenced triangle of a into a dense matrix,
+// honoring the unit-diagonal convention.
+func triMat(uplo Uplo, diag Diag, n int, a []float64, lda int) *matrix.Dense {
+	m := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			switch {
+			case i == j:
+				if diag == Unit {
+					m.Set(i, j, 1)
+				} else {
+					m.Set(i, j, a[i+j*lda])
+				}
+			case (uplo == Lower && i > j) || (uplo == Upper && i < j):
+				m.Set(i, j, a[i+j*lda])
+			}
+		}
+	}
+	return m
+}
+
+func TestDtrsmAll16Variants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 9, 11
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, tr := range []Trans{NoTrans, T} {
+				for _, dg := range []Diag{NonUnit, Unit} {
+					ka := m
+					if side == Right {
+						ka = n
+					}
+					a := randSlice(ka*ka, rng)
+					// Make the triangle well conditioned.
+					for i := 0; i < ka; i++ {
+						a[i+i*ka] = 3 + rng.Float64()
+					}
+					b := randSlice(m*n, rng)
+					bOrig := append([]float64(nil), b...)
+					alpha := 1.5
+					Dtrsm(side, uplo, tr, dg, m, n, alpha, a, ka, b, m)
+
+					// Verify op(A)·X == α·B (Left) or X·op(A) == α·B.
+					tA := triMat(uplo, dg, ka, a, ka)
+					check := make([]float64, m*n)
+					opA := NoTrans
+					if tr == T {
+						opA = T
+					}
+					if side == Left {
+						naiveGemm(opA, NoTrans, m, n, m, 1, tA.Data, tA.LD, b, m, 0, check, m)
+					} else {
+						naiveGemm(NoTrans, opA, m, n, n, 1, b, m, tA.Data, tA.LD, 0, check, m)
+					}
+					for i := range check {
+						if math.Abs(check[i]-alpha*bOrig[i]) > 1e-9 {
+							t.Fatalf("dtrsm(%v,%v,%v,%v): residual %g at %d",
+								side, uplo, tr, dg, check[i]-alpha*bOrig[i], i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDtrsmAlphaZero(t *testing.T) {
+	b := []float64{1, 2, 3, 4}
+	Dtrsm(Left, Lower, NoTrans, NonUnit, 2, 2, 0, []float64{1, 0, 0, 1}, 2, b, 2)
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatal("alpha=0 must zero B")
+		}
+	}
+}
+
+func TestDpotf2Reconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17, 40} {
+		spd := matrix.RandSPD(n, int64(n))
+		a := spd.Clone()
+		if err := Dpotf2(Lower, n, a.Data, a.LD); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := matrix.LowerTimesLowerT(a)
+		if d := rec.MaxDiff(spd); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: reconstruction error %g", n, d)
+		}
+	}
+}
+
+func TestDpotf2Upper(t *testing.T) {
+	n := 20
+	spd := matrix.RandSPD(n, 7)
+	a := spd.Clone()
+	if err := Dpotf2(Upper, n, a.Data, a.LD); err != nil {
+		t.Fatal(err)
+	}
+	// Uᵀ·U must reconstruct A: transpose the upper factor into a
+	// lower one and reuse the checker.
+	l := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			l.Set(j, i, a.At(i, j))
+		}
+	}
+	rec := matrix.LowerTimesLowerT(l)
+	if d := rec.MaxDiff(spd); d > 1e-8*float64(n) {
+		t.Fatalf("upper reconstruction error %g", d)
+	}
+}
+
+func TestDpotrfMatchesUnblocked(t *testing.T) {
+	n := 150
+	spd := matrix.RandSPD(n, 5)
+	blocked := spd.Clone()
+	unblocked := spd.Clone()
+	if err := DpotrfNB(Lower, n, blocked.Data, blocked.LD, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := Dpotf2(Lower, n, unblocked.Data, unblocked.LD); err != nil {
+		t.Fatal(err)
+	}
+	// Compare lower triangles.
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if math.Abs(blocked.At(i, j)-unblocked.At(i, j)) > 1e-8 {
+				t.Fatalf("blocked/unblocked differ at (%d,%d): %v vs %v", i, j, blocked.At(i, j), unblocked.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDpotrfUpperBlocked(t *testing.T) {
+	n := 100
+	spd := matrix.RandSPD(n, 11)
+	a := spd.Clone()
+	if err := DpotrfNB(Upper, n, a.Data, a.LD, 24); err != nil {
+		t.Fatal(err)
+	}
+	l := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			l.Set(j, i, a.At(i, j))
+		}
+	}
+	if d := matrix.LowerTimesLowerT(l).MaxDiff(spd); d > 1e-7 {
+		t.Fatalf("upper blocked reconstruction error %g", d)
+	}
+}
+
+func TestDpotrfNotPositiveDefinite(t *testing.T) {
+	n := 10
+	a := matrix.RandSPD(n, 1)
+	a.Set(6, 6, -100) // break positive definiteness at index 6
+	err := DpotrfNB(Lower, n, a.Data, a.LD, 4)
+	if err == nil {
+		t.Fatal("non-PD matrix accepted")
+	}
+	pd, ok := err.(*ErrNotPositiveDefinite)
+	if !ok || pd.Index != 6 {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite at 6", err)
+	}
+}
+
+func ldltReconstruct(n int, a []float64, lda int) *matrix.Dense {
+	out := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= min(i, j); k++ {
+				li := 1.0
+				if i != k {
+					li = a[i+k*lda]
+				}
+				lj := 1.0
+				if j != k {
+					lj = a[j+k*lda]
+				}
+				s += li * a[k+k*lda] * lj
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestLdltReconstructs(t *testing.T) {
+	for _, n := range []int{1, 3, 20, 60} {
+		sym := matrix.RandSymIndefinite(n, int64(n))
+		a := sym.Clone()
+		if err := Ldlt(n, a.Data, a.LD); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		hasNeg := false
+		for i := 0; i < n; i++ {
+			if a.At(i, i) < 0 {
+				hasNeg = true
+			}
+		}
+		if n >= 3 && !hasNeg {
+			t.Fatalf("n=%d: expected an indefinite D", n)
+		}
+		if d := ldltReconstruct(n, a.Data, a.LD).MaxDiff(sym); d > 1e-8*float64(n+1) {
+			t.Fatalf("n=%d: reconstruction error %g", n, d)
+		}
+	}
+}
+
+func TestLdltBlockedMatchesUnblocked(t *testing.T) {
+	n := 90
+	sym := matrix.RandSymIndefinite(n, 4)
+	blocked := sym.Clone()
+	unblocked := sym.Clone()
+	if err := LdltNB(n, blocked.Data, blocked.LD, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := Ldlt(n, unblocked.Data, unblocked.LD); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if math.Abs(blocked.At(i, j)-unblocked.At(i, j)) > 1e-7 {
+				t.Fatalf("blocked/unblocked LDLT differ at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLdltSolve(t *testing.T) {
+	n := 40
+	sym := matrix.RandSymIndefinite(n, 9)
+	a := sym.Clone()
+	if err := Ldlt(n, a.Data, a.LD); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	x := randSlice(n, rng)
+	b := make([]float64, n)
+	// b = A·x
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += sym.At(i, j) * x[j]
+		}
+		b[i] = s
+	}
+	LdltSolve(n, a.Data, a.LD, b)
+	if d := maxAbsDiff(b, x); d > 1e-8 {
+		t.Fatalf("solve error %g", d)
+	}
+}
+
+func TestLdltSingularPivot(t *testing.T) {
+	a := matrix.New(2, 2) // all zeros → zero pivot at 0
+	if err := Ldlt(2, a.Data, a.LD); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestDgemmParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, n, k := 33, 47, 21
+	a := randSlice(m*k, rng)
+	b := randSlice(k*n, rng)
+	for _, tb := range []Trans{NoTrans, T} {
+		bm := b
+		ldb := k
+		if tb == T {
+			ldb = n
+		}
+		cSerial := randSlice(m*n, rng)
+		cPar := append([]float64(nil), cSerial...)
+		Dgemm(NoTrans, tb, m, n, k, 1.2, a, m, bm, ldb, 0.3, cSerial, m)
+		DgemmParallel(NoTrans, tb, m, n, k, 1.2, a, m, bm, ldb, 0.3, cPar, m, 8)
+		if d := maxAbsDiff(cSerial, cPar); d > 1e-12 {
+			t.Fatalf("parallel dgemm (transB=%v) differs by %g", tb, d)
+		}
+	}
+}
+
+func TestDsyrkParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, k := 300, 40
+	for _, uplo := range []Uplo{Lower, Upper} {
+		for _, tr := range []Trans{NoTrans, T} {
+			lda := n
+			if tr == T {
+				lda = k
+			}
+			a := randSlice(lda*max(n, k), rng)
+			cs := randSlice(n*n, rng)
+			cp := append([]float64(nil), cs...)
+			Dsyrk(uplo, tr, n, k, 1.1, a, lda, 0.7, cs, n)
+			DsyrkParallel(uplo, tr, n, k, 1.1, a, lda, 0.7, cp, n, 7)
+			if d := maxAbsDiff(cs, cp); d > 1e-12 {
+				t.Fatalf("parallel dsyrk(%v,%v) differs by %g", uplo, tr, d)
+			}
+		}
+	}
+}
+
+func TestFlopsHelpers(t *testing.T) {
+	if GemmFlops(2, 3, 4) != 48 {
+		t.Fatal("GemmFlops")
+	}
+	if CholeskyFlops(30) != 9000 {
+		t.Fatal("CholeskyFlops")
+	}
+}

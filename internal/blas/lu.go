@@ -1,0 +1,178 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports an exactly zero pivot in LU factorization.
+type ErrSingular struct{ Index int }
+
+func (e *ErrSingular) Error() string {
+	return fmt.Sprintf("blas: U(%d,%d) is exactly zero in LU factorization", e.Index, e.Index)
+}
+
+// Dgetf2 computes the unblocked LU factorization with partial
+// pivoting of the m×n matrix a: A = P·L·U, unit-lower L and upper U
+// stored in place, with row-swap indices in ipiv (ipiv[i] is the row
+// swapped with row i, LAPACK-style 0-based).
+func Dgetf2(m, n int, a []float64, lda int, ipiv []int) error {
+	checkDims(m >= 0 && n >= 0, "dgetf2: negative dimension %d,%d", m, n)
+	checkDims(lda >= max(1, m), "dgetf2: lda %d < %d", lda, m)
+	checkDims(len(ipiv) >= min(m, n), "dgetf2: ipiv too short")
+	for j := 0; j < min(m, n); j++ {
+		// Pivot: largest |A(i,j)| for i ≥ j.
+		p := j
+		pv := math.Abs(a[j+j*lda])
+		for i := j + 1; i < m; i++ {
+			if v := math.Abs(a[i+j*lda]); v > pv {
+				p, pv = i, v
+			}
+		}
+		ipiv[j] = p
+		if a[p+j*lda] == 0 {
+			return &ErrSingular{Index: j}
+		}
+		if p != j {
+			for k := 0; k < n; k++ {
+				a[j+k*lda], a[p+k*lda] = a[p+k*lda], a[j+k*lda]
+			}
+		}
+		// Scale the column and update the trailing matrix.
+		d := 1 / a[j+j*lda]
+		for i := j + 1; i < m; i++ {
+			a[i+j*lda] *= d
+		}
+		for k := j + 1; k < n; k++ {
+			f := a[j+k*lda]
+			if f == 0 {
+				continue
+			}
+			col := a[k*lda:]
+			piv := a[j*lda:]
+			for i := j + 1; i < m; i++ {
+				col[i] -= piv[i] * f
+			}
+		}
+	}
+	return nil
+}
+
+// Dgetf2NoPivot computes the unblocked LU factorization WITHOUT
+// pivoting of the n×n matrix a (unit-lower L and upper U in place).
+// It requires a matrix that is safely factorizable without row
+// interchanges (e.g. diagonally dominant) — the form tiled LU
+// algorithms without cross-tile pivoting rely on.
+func Dgetf2NoPivot(n int, a []float64, lda int) error {
+	checkDims(n >= 0, "dgetf2np: negative n %d", n)
+	checkDims(lda >= max(1, n), "dgetf2np: lda %d < %d", lda, n)
+	for j := 0; j < n; j++ {
+		piv := a[j+j*lda]
+		if piv == 0 || math.IsNaN(piv) {
+			return &ErrSingular{Index: j}
+		}
+		d := 1 / piv
+		for i := j + 1; i < n; i++ {
+			a[i+j*lda] *= d
+		}
+		for k := j + 1; k < n; k++ {
+			f := a[j+k*lda]
+			if f == 0 {
+				continue
+			}
+			col := a[k*lda:]
+			pc := a[j*lda:]
+			for i := j + 1; i < n; i++ {
+				col[i] -= pc[i] * f
+			}
+		}
+	}
+	return nil
+}
+
+// Dgetrf computes the blocked LU factorization with partial pivoting,
+// right-looking: panel Dgetf2, row interchanges applied across the
+// matrix, triangular solve, trailing GEMM update.
+func Dgetrf(m, n int, a []float64, lda int, ipiv []int) error {
+	return DgetrfNB(m, n, a, lda, ipiv, DefaultNB)
+}
+
+// DgetrfNB is Dgetrf with an explicit blocking factor.
+func DgetrfNB(m, n int, a []float64, lda int, ipiv []int, nb int) error {
+	checkDims(m >= 0 && n >= 0, "dgetrf: negative dimension %d,%d", m, n)
+	checkDims(lda >= max(1, m), "dgetrf: lda %d < %d", lda, m)
+	mn := min(m, n)
+	checkDims(len(ipiv) >= mn, "dgetrf: ipiv too short")
+	if nb < 1 {
+		nb = DefaultNB
+	}
+	if mn <= nb {
+		return Dgetf2(m, n, a, lda, ipiv)
+	}
+	for j := 0; j < mn; j += nb {
+		jb := min(nb, mn-j)
+		// Factor the panel A[j:m, j:j+jb].
+		if err := Dgetf2(m-j, jb, a[j+j*lda:], lda, ipiv[j:]); err != nil {
+			se := err.(*ErrSingular)
+			return &ErrSingular{Index: j + se.Index}
+		}
+		// Convert panel-local pivots to global rows and apply the
+		// interchanges to the columns outside the panel.
+		for i := j; i < j+jb; i++ {
+			ipiv[i] += j
+			if p := ipiv[i]; p != i {
+				// Left of the panel.
+				for k := 0; k < j; k++ {
+					a[i+k*lda], a[p+k*lda] = a[p+k*lda], a[i+k*lda]
+				}
+				// Right of the panel.
+				for k := j + jb; k < n; k++ {
+					a[i+k*lda], a[p+k*lda] = a[p+k*lda], a[i+k*lda]
+				}
+			}
+		}
+		if j+jb < n {
+			// U block row: solve L11·U12 = A12.
+			Dtrsm(Left, Lower, NoTrans, Unit, jb, n-j-jb, 1, a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
+			if j+jb < m {
+				// Trailing update A22 -= L21·U12.
+				Dgemm(NoTrans, NoTrans, m-j-jb, n-j-jb, jb, -1,
+					a[(j+jb)+j*lda:], lda, a[j+(j+jb)*lda:], lda, 1, a[(j+jb)+(j+jb)*lda:], lda)
+			}
+		}
+	}
+	return nil
+}
+
+// Dgetrs solves A·x = b given the Dgetrf factorization, overwriting b.
+func Dgetrs(n int, a []float64, lda int, ipiv []int, b []float64) {
+	// Apply P.
+	for i := 0; i < n; i++ {
+		if p := ipiv[i]; p != i {
+			b[i], b[p] = b[p], b[i]
+		}
+	}
+	// L·y = Pb (unit lower).
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i+k*lda] * b[k]
+		}
+		b[i] = s
+	}
+	// U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[i+k*lda] * b[k]
+		}
+		b[i] = s / a[i+i*lda]
+	}
+}
+
+// GetrfFlops returns the operation count of an n×n LU factorization
+// (2n³/3 to leading order).
+func GetrfFlops(n int) float64 {
+	nf := float64(n)
+	return 2 * nf * nf * nf / 3
+}

@@ -1,0 +1,176 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hstreams/internal/matrix"
+)
+
+// reconstructLU computes P⁻¹·L·U from the in-place factorization.
+func reconstructLU(m, n int, a []float64, lda int, ipiv []int) *matrix.Dense {
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	lu := matrix.New(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s float64
+			kmax := i
+			if j < kmax {
+				kmax = j
+			}
+			for k := 0; k <= kmax && k < mn; k++ {
+				lv := a[i+k*lda]
+				if i == k {
+					lv = 1
+				}
+				if i < k {
+					lv = 0
+				}
+				uv := a[k+j*lda]
+				if k > j {
+					uv = 0
+				}
+				s += lv * uv
+			}
+			lu.Set(i, j, s)
+		}
+	}
+	// Undo the row interchanges (apply them in reverse).
+	for i := mn - 1; i >= 0; i-- {
+		if p := ipiv[i]; p != i {
+			for j := 0; j < n; j++ {
+				v1, v2 := lu.At(i, j), lu.At(p, j)
+				lu.Set(i, j, v2)
+				lu.Set(p, j, v1)
+			}
+		}
+	}
+	return lu
+}
+
+func TestDgetf2Reconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 25, 60} {
+		orig := matrix.RandGeneral(n, n, int64(n))
+		a := orig.Clone()
+		ipiv := make([]int, n)
+		if err := Dgetf2(n, n, a.Data, a.LD, ipiv); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := reconstructLU(n, n, a.Data, a.LD, ipiv)
+		if d := rec.MaxDiff(orig); d > 1e-10*float64(n) {
+			t.Fatalf("n=%d: reconstruction error %g", n, d)
+		}
+	}
+}
+
+func TestDgetrfMatchesUnblocked(t *testing.T) {
+	n := 150
+	orig := matrix.RandGeneral(n, n, 3)
+	blocked := orig.Clone()
+	unblocked := orig.Clone()
+	ipB := make([]int, n)
+	ipU := make([]int, n)
+	if err := DgetrfNB(n, n, blocked.Data, blocked.LD, ipB, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := Dgetf2(n, n, unblocked.Data, unblocked.LD, ipU); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if ipB[i] != ipU[i] {
+			t.Fatalf("pivot %d differs: %d vs %d", i, ipB[i], ipU[i])
+		}
+	}
+	if d := blocked.MaxDiff(unblocked); d > 1e-9 {
+		t.Fatalf("blocked/unblocked differ by %g", d)
+	}
+}
+
+func TestDgetrfRectangular(t *testing.T) {
+	m, n := 40, 25
+	orig := matrix.RandGeneral(m, n, 9)
+	a := orig.Clone()
+	ipiv := make([]int, n)
+	if err := DgetrfNB(m, n, a.Data, a.LD, ipiv, 8); err != nil {
+		t.Fatal(err)
+	}
+	rec := reconstructLU(m, n, a.Data, a.LD, ipiv)
+	if d := rec.MaxDiff(orig); d > 1e-10*float64(m) {
+		t.Fatalf("rectangular reconstruction error %g", d)
+	}
+}
+
+func TestDgetrsSolves(t *testing.T) {
+	n := 60
+	orig := matrix.RandGeneral(n, n, 4)
+	// Diagonal boost for conditioning.
+	for i := 0; i < n; i++ {
+		orig.Set(i, i, orig.At(i, i)+float64(n))
+	}
+	a := orig.Clone()
+	ipiv := make([]int, n)
+	if err := Dgetrf(n, n, a.Data, a.LD, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	x := randSlice(n, rng)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += orig.At(i, j) * x[j]
+		}
+		b[i] = s
+	}
+	Dgetrs(n, a.Data, a.LD, ipiv, b)
+	if d := maxAbsDiff(b, x); d > 1e-9 {
+		t.Fatalf("solve error %g", d)
+	}
+}
+
+func TestDgetrfPivotingActuallyPivots(t *testing.T) {
+	// A matrix whose naive (no-pivot) elimination would divide by a
+	// tiny pivot; partial pivoting must keep |L| ≤ 1.
+	n := 8
+	a := matrix.New(n, n)
+	rng := rand.New(rand.NewSource(11))
+	a.Random(rng)
+	a.Set(0, 0, 1e-300)
+	ipiv := make([]int, n)
+	if err := Dgetrf(n, n, a.Data, a.LD, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	if ipiv[0] == 0 {
+		t.Fatal("pivoting did not move away from the tiny leading entry")
+	}
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			if math.Abs(a.At(i, j)) > 1+1e-12 {
+				t.Fatalf("|L(%d,%d)| = %g > 1 despite partial pivoting", i, j, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDgetrfSingular(t *testing.T) {
+	n := 5
+	a := matrix.New(n, n) // all zeros
+	ipiv := make([]int, n)
+	err := Dgetrf(n, n, a.Data, a.LD, ipiv)
+	if err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+	if _, ok := err.(*ErrSingular); !ok {
+		t.Fatalf("err = %T, want *ErrSingular", err)
+	}
+}
+
+func TestGetrfFlops(t *testing.T) {
+	if GetrfFlops(30) != 18000 {
+		t.Fatal("GetrfFlops")
+	}
+}

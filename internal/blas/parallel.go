@@ -1,0 +1,84 @@
+package blas
+
+import "sync"
+
+// DgemmParallel is Dgemm with the columns of C partitioned across up
+// to `threads` goroutines. It is what stream compute kernels call so
+// that a task "naturally expands across a stream's threads" (paper
+// §II) — the Go equivalent of an OpenMP parallel-for inside a task.
+func DgemmParallel(transA, transB Trans, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int, threads int) {
+	if threads < 2 || n < 2 {
+		Dgemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			boff := lo * ldb
+			if transB == T {
+				boff = lo
+			}
+			Dgemm(transA, transB, m, hi-lo, k, alpha, a, lda, b[boff:], ldb, beta, c[lo*ldc:], ldc)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// DsyrkParallel partitions the rank-k update's columns across
+// goroutines (each worker owns a contiguous column range of C and the
+// triangle restriction is preserved by Dsyrk itself operating on a
+// shifted view).
+func DsyrkParallel(uplo Uplo, trans Trans, n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int, threads int) {
+	if threads < 2 || n < 2*DefaultNB {
+		Dsyrk(uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
+		return
+	}
+	// Split C's columns; each chunk [lo,hi) has a triangular part
+	// (handled by Dsyrk on the diagonal sub-block) and a rectangular
+	// part (handled by Dgemm).
+	if threads > n {
+		threads = n
+	}
+	chunk := (n + threads - 1) / threads
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			w := hi - lo
+			if trans == NoTrans {
+				// Diagonal block of this column range.
+				Dsyrk(uplo, NoTrans, w, k, alpha, a[lo:], lda, beta, c[lo+lo*ldc:], ldc)
+				if uplo == Lower && hi < n {
+					Dgemm(NoTrans, T, n-hi, w, k, alpha, a[hi:], lda, a[lo:], lda, beta, c[hi+lo*ldc:], ldc)
+				} else if uplo == Upper && lo > 0 {
+					Dgemm(NoTrans, T, lo, w, k, alpha, a, lda, a[lo:], lda, beta, c[lo*ldc:], ldc)
+				}
+			} else {
+				Dsyrk(uplo, T, w, k, alpha, a[lo*lda:], lda, beta, c[lo+lo*ldc:], ldc)
+				if uplo == Lower && hi < n {
+					Dgemm(T, NoTrans, n-hi, w, k, alpha, a[hi*lda:], lda, a[lo*lda:], lda, beta, c[hi+lo*ldc:], ldc)
+				} else if uplo == Upper && lo > 0 {
+					Dgemm(T, NoTrans, lo, w, k, alpha, a, lda, a[lo*lda:], lda, beta, c[lo*ldc:], ldc)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

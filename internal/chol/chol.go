@@ -1,0 +1,598 @@
+// Package chol implements the paper's tiled Cholesky factorization
+// (§V, Fig. 5) for heterogeneous platforms:
+//
+//   - The matrix is decomposed into square tiles; only the lower
+//     triangle is factored (A = L·Lᵀ).
+//   - DPOTRF (diagonal) runs on the host in a machine-wide stream;
+//     DTRSMs run on host streams; their results are broadcast to all
+//     cards.
+//   - Each tile-row is assigned to the host or one of the cards
+//     round-robin; each subsequent compute on a domain round-robins
+//     across that domain's streams.
+//   - DSYRK/DGEMM results in the column adjacent to the DTRSM column
+//     are sent back to the host each pass (they are the next panel);
+//     cards never talk to each other, and host-stream transfers are
+//     aliased away.
+//
+// Variants reproduce the Fig. 7 comparison: offload-only (panel on
+// card), bulk-synchronous (the MKL-AO-style baseline), and host
+// native.
+package chol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"hstreams/internal/app"
+	"hstreams/internal/blas"
+	"hstreams/internal/core"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/kernels"
+	"hstreams/internal/matrix"
+	"hstreams/internal/platform"
+)
+
+// ErrBadTiling reports an n that is not divisible by the tile size.
+var ErrBadTiling = errors.New("chol: matrix size must be a multiple of the tile size")
+
+// Config describes one tiled-Cholesky run.
+type Config struct {
+	// N is the matrix edge; Tile the tile edge (N%Tile == 0).
+	N, Tile int
+	// UseHost includes the host as an update-compute domain (rows
+	// round-robin over host + cards). Requires host streams.
+	UseHost bool
+	// Panel selects where the panel factorizations run.
+	Panel PanelPlacement
+	// BulkSync inserts a full barrier between passes: no cross-pass
+	// pipelining or lookahead (an ablation knob for what the
+	// FIFO-semantic pipelining is worth).
+	BulkSync bool
+	// EvenRows assigns tile-rows evenly instead of rate-weighted —
+	// a fixed internal split no user can tune, as in automatic
+	// offload.
+	EvenRows bool
+	// Verify (Real mode) factors a random SPD matrix and checks
+	// L·Lᵀ ≈ A.
+	Verify bool
+	// Seed for the Verify matrix.
+	Seed int64
+}
+
+// PanelPlacement selects where DPOTRF/DTRSM run.
+type PanelPlacement int
+
+const (
+	// PanelHost runs blocked DPOTRF and the DTRSMs on host streams —
+	// the paper's hetero hStreams scheme (§V).
+	PanelHost PanelPlacement = iota
+	// PanelCard runs panels on the owning card (pure offload), where
+	// the latency-bound kernels are far slower — exactly MAGMA's
+	// motivation for doing the opposite.
+	PanelCard
+	// PanelMagma runs only the unblocked DPOTF2 on the host and the
+	// DTRSMs on the cards, with the trailing matrix resident
+	// card-side — the MAGMA hybrid (§V, §VI).
+	PanelMagma
+)
+
+// Result summarizes a run.
+type Result struct {
+	Seconds time.Duration
+	GFlops  float64
+}
+
+// tileKey identifies a tile.
+type tileKey struct{ i, j int }
+
+// tileState tracks each tile's last writer and per-domain broadcast
+// copies — the coherence bookkeeping a tuner maintains on top of the
+// FIFO semantic (§II's recipe for cross-stream/cross-domain
+// dependences).
+type tileState struct {
+	last   *core.Action
+	stream *core.Stream
+	bcast  map[int]*core.Action // domain index → transfer of current version
+}
+
+// choreography carries the run state.
+type choreography struct {
+	a         *app.App
+	rt        *core.Runtime
+	cfg       Config
+	nt        int
+	tbytes    int64
+	buf       *core.Buf
+	owner     []*core.Domain // tile-row → domain
+	tiles     map[tileKey]*tileState
+	hostPanel *core.Stream // machine-wide host stream for DPOTRF
+}
+
+// Run executes the hetero tiled Cholesky and reports performance.
+func Run(a *app.App, cfg Config) (Result, error) {
+	if cfg.N%cfg.Tile != 0 {
+		return Result{}, ErrBadTiling
+	}
+	c := &choreography{
+		a:      a,
+		rt:     a.RT,
+		cfg:    cfg,
+		nt:     cfg.N / cfg.Tile,
+		tbytes: kernels.TileBytes(cfg.Tile),
+		tiles:  map[tileKey]*tileState{},
+	}
+	total := int64(c.nt) * int64(c.nt) * c.tbytes
+	buf, err := c.rt.Alloc1D("Achol", total)
+	if err != nil {
+		return Result{}, err
+	}
+	c.buf = buf
+
+	var spd *matrix.Dense
+	if c.rt.Mode() == core.ModeReal {
+		kernels.Register(c.rt)
+		spd = matrix.RandSPD(cfg.N, cfg.Seed+7)
+		tileIn(buf.HostFloat64s(), spd, c.nt, cfg.Tile)
+	}
+
+	doms := a.ComputeDomains()
+	if len(doms) == 0 {
+		return Result{}, app.ErrNoStreams
+	}
+	if cfg.Panel != PanelCard {
+		if len(a.HostStreams()) == 0 && cfg.UseHost {
+			return Result{}, fmt.Errorf("chol: host panels require host streams")
+		}
+		// "For DPOTRF, we use a machine-wide stream on the host"
+		// (§V): a dedicated stream spanning all host cores, mapped
+		// onto the same resources the regular host streams use.
+		host := c.rt.Host()
+		var share *core.Stream
+		if hs := a.HostStreams(); len(hs) > 0 {
+			share = hs[0]
+		}
+		wide, err := c.rt.StreamCreateOn(host, 0, host.Spec().Cores(), share)
+		if err != nil {
+			return Result{}, err
+		}
+		c.hostPanel = wide
+	}
+	// Row owners: weighted round-robin over compute domains by
+	// modeled DGEMM rate, with the host discounted for its panel
+	// duty — "DPOTRFs, DTRSMs and SOME of the DSYRKs and DGEMMs
+	// execute on the host" (§V).
+	c.owner = make([]*core.Domain, c.nt)
+	if cfg.EvenRows {
+		for i := range c.owner {
+			c.owner[i] = doms[i%len(doms)]
+		}
+	} else {
+		c.owner = assignRows(doms, c.nt, cfg.Tile, cfg.Panel != PanelCard)
+	}
+
+	start := c.rt.Now()
+	if err := c.factor(); err != nil {
+		return Result{}, err
+	}
+	c.rt.ThreadSynchronize()
+	if err := c.rt.Err(); err != nil {
+		return Result{}, err
+	}
+	elapsed := c.rt.Now() - start
+
+	if cfg.Verify && c.rt.Mode() == core.ModeReal {
+		if err := verifyFactor(buf.HostFloat64s(), spd, c.nt, cfg.Tile); err != nil {
+			return Result{}, err
+		}
+	}
+	flops := blas.CholeskyFlops(cfg.N)
+	return Result{Seconds: elapsed, GFlops: platform.GFlops(flops, elapsed)}, nil
+}
+
+func (c *choreography) state(i, j int) *tileState {
+	k := tileKey{i, j}
+	st, ok := c.tiles[k]
+	if !ok {
+		st = &tileState{bcast: map[int]*core.Action{}}
+		c.tiles[k] = st
+	}
+	return st
+}
+
+func (c *choreography) off(i, j int) int64 {
+	return kernels.TileOff(i, j, c.nt, c.cfg.Tile)
+}
+
+// depOn appends st's last writer to deps when it is in a different
+// stream (in-stream ordering is the FIFO semantic's job).
+func depOn(deps []*core.Action, st *tileState, s *core.Stream) []*core.Action {
+	if st.last != nil && st.stream != s && !st.last.Completed() {
+		deps = append(deps, st.last)
+	}
+	return deps
+}
+
+// ensureAt makes tile (i, j) resident in stream s's domain,
+// broadcasting it from the host if needed, and returns the dependence
+// the consumer must honor.
+func (c *choreography) ensureAt(i, j int, s *core.Stream) ([]*core.Action, error) {
+	st := c.state(i, j)
+	d := s.Domain()
+	if d.IsHost() {
+		var deps []*core.Action
+		return depOn(deps, st, s), nil
+	}
+	if x, ok := st.bcast[d.Index()]; ok {
+		if x == nil { // written locally; covered by st.last
+			return depOn(nil, st, s), nil
+		}
+		if x.Stream() != s && !x.Completed() {
+			return []*core.Action{x}, nil
+		}
+		return nil, nil
+	}
+	// Push the host's current version, ordered after its last writer.
+	var deps []*core.Action
+	deps = depOn(deps, st, s)
+	x, err := s.EnqueueXferDeps(c.buf, c.off(i, j), c.tbytes, core.ToSink, deps)
+	if err != nil {
+		return nil, err
+	}
+	st.bcast[d.Index()] = x
+	return nil, nil
+}
+
+// factor runs the right-looking tiled algorithm of Fig. 5.
+func (c *choreography) factor() error {
+	tb := int64(c.cfg.Tile)
+	var barrier []*core.Action
+	for k := 0; k < c.nt; k++ {
+		// DPOTRF on the diagonal tile.
+		dkk := c.state(k, k)
+		var panelDom *core.Domain
+		var potrfStream *core.Stream
+		if c.cfg.Panel != PanelCard {
+			potrfStream = c.hostPanel
+			panelDom = potrfStream.Domain()
+		} else {
+			panelDom = c.owner[k]
+			s, err := c.a.NextStream(panelDom)
+			if err != nil {
+				return err
+			}
+			potrfStream = s
+		}
+		deps := cloneDeps(barrier)
+		if ens, err := c.ensureAt(k, k, potrfStream); err != nil {
+			return err
+		} else {
+			deps = append(deps, ens...)
+		}
+		deps = depOn(deps, dkk, potrfStream)
+		potrfCost := potrfTileCost(c.cfg.Tile)
+		if c.cfg.Panel == PanelMagma {
+			// MAGMA ships the unblocked, latency-bound DPOTF2 to the
+			// host (§VI).
+			potrfCost = kernels.Potf2Cost(c.cfg.Tile)
+		}
+		potrf, err := potrfStream.EnqueueComputeDeps(kernels.Dpotf2, []int64{tb},
+			[]core.Operand{c.buf.Range(c.off(k, k), c.tbytes, core.InOut)},
+			potrfCost, deps)
+		if err != nil {
+			return err
+		}
+		dkk.last, dkk.stream = potrf, potrfStream
+		dkk.bcast = map[int]*core.Action{}
+		if !panelDom.IsHost() {
+			dkk.bcast[panelDom.Index()] = nil
+			// Pure offload on one card keeps everything there; if
+			// other domains exist they will re-broadcast from host,
+			// so send the factored tile home.
+			if pull, err := potrfStream.EnqueueXfer(c.buf, c.off(k, k), c.tbytes, core.ToSource); err != nil {
+				return err
+			} else {
+				dkk.last, dkk.stream = pull, potrfStream
+			}
+		}
+
+		// DTRSMs down column k.
+		for i := k + 1; i < c.nt; i++ {
+			var s *core.Stream
+			if c.cfg.Panel == PanelHost {
+				if len(c.a.HostStreams()) > 0 {
+					var err error
+					if s, err = c.a.NextStream(c.rt.Host()); err != nil {
+						return err
+					}
+				} else {
+					s = c.hostPanel
+				}
+			} else {
+				var err error
+				if s, err = c.a.NextStream(c.owner[i]); err != nil {
+					return err
+				}
+			}
+			sti := c.state(i, k)
+			deps := cloneDeps(barrier)
+			for _, tile := range []tileKey{{k, k}, {i, k}} {
+				if ens, err := c.ensureAt(tile.i, tile.j, s); err != nil {
+					return err
+				} else {
+					deps = append(deps, ens...)
+				}
+			}
+			deps = depOn(deps, c.state(k, k), s)
+			deps = depOn(deps, sti, s)
+			trsm, err := s.EnqueueComputeDeps(kernels.Dtrsm, []int64{tb, tb},
+				[]core.Operand{
+					c.buf.Range(c.off(k, k), c.tbytes, core.In),
+					c.buf.Range(c.off(i, k), c.tbytes, core.InOut),
+				}, kernels.TrsmCost(c.cfg.Tile, c.cfg.Tile), deps)
+			if err != nil {
+				return err
+			}
+			sti.last, sti.stream = trsm, s
+			sti.bcast = map[int]*core.Action{}
+			if !s.Domain().IsHost() {
+				sti.bcast[s.Domain().Index()] = nil
+				if pull, err := s.EnqueueXfer(c.buf, c.off(i, k), c.tbytes, core.ToSource); err != nil {
+					return err
+				} else {
+					sti.last, sti.stream = pull, s
+				}
+			}
+		}
+
+		// Trailing updates: row i owned by owner[i]; results in
+		// column k+1 are pulled home for the next panel.
+		var passTail []*core.Action
+		for i := k + 1; i < c.nt; i++ {
+			d := c.owner[i]
+			for j := k + 1; j <= i; j++ {
+				s, err := c.a.NextStream(d)
+				if err != nil {
+					return err
+				}
+				stij := c.state(i, j)
+				deps := cloneDeps(barrier)
+				need := []tileKey{{i, k}}
+				if i != j {
+					need = append(need, tileKey{j, k})
+				}
+				for _, tile := range need {
+					if ens, err := c.ensureAt(tile.i, tile.j, s); err != nil {
+						return err
+					} else {
+						deps = append(deps, ens...)
+					}
+					deps = depOn(deps, c.state(tile.i, tile.j), s)
+				}
+				if ens, err := c.ensureAt(i, j, s); err != nil {
+					return err
+				} else {
+					deps = append(deps, ens...)
+				}
+				deps = depOn(deps, stij, s)
+
+				var upd *core.Action
+				if i == j {
+					upd, err = s.EnqueueComputeDeps(kernels.Dsyrk, []int64{tb, tb},
+						[]core.Operand{
+							c.buf.Range(c.off(i, k), c.tbytes, core.In),
+							c.buf.Range(c.off(i, i), c.tbytes, core.InOut),
+						}, kernels.SyrkCost(c.cfg.Tile, c.cfg.Tile), deps)
+				} else {
+					upd, err = s.EnqueueComputeDeps(kernels.Dgemm, []int64{tb, tb, tb},
+						[]core.Operand{
+							c.buf.Range(c.off(i, k), c.tbytes, core.In),
+							c.buf.Range(c.off(j, k), c.tbytes, core.In),
+							c.buf.Range(c.off(i, j), c.tbytes, core.InOut),
+						}, kernels.GemmCost(c.cfg.Tile, c.cfg.Tile, c.cfg.Tile), deps)
+				}
+				if err != nil {
+					return err
+				}
+				stij.last, stij.stream = upd, s
+				stij.bcast = map[int]*core.Action{}
+				if !d.IsHost() {
+					stij.bcast[d.Index()] = nil
+				}
+				// Column k+1 goes home for the next panel (§V).
+				if j == k+1 && !d.IsHost() && c.cfg.Panel != PanelCard {
+					pull, err := s.EnqueueXfer(c.buf, c.off(i, j), c.tbytes, core.ToSource)
+					if err != nil {
+						return err
+					}
+					stij.last, stij.stream = pull, s
+				}
+				if c.cfg.BulkSync {
+					passTail = append(passTail, upd)
+				}
+			}
+		}
+		if c.cfg.BulkSync {
+			barrier = passTail
+		}
+	}
+	return nil
+}
+
+// assignRows distributes tile-rows over the compute domains in an
+// interleaved pattern proportional to each domain's modeled DGEMM
+// rate. The host's weight is discounted when it also runs the panel
+// factorizations.
+func assignRows(doms []*core.Domain, nt, tb int, panelOnHost bool) []*core.Domain {
+	// The host's update capacity is reduced by its panel duty, which
+	// is the DPOTRF+DTRSM share of the total work: ~(nt²/2)·tb³ of
+	// panel flops against (nt³/3)·tb³ updates, i.e. a fraction that
+	// shrinks as ≈2.5/nt.
+	hostDiscount := 0.75
+	weights := make([]float64, len(doms))
+	var sum float64
+	for i, d := range doms {
+		cst := kernels.GemmCost(tb, tb, tb)
+		t := platform.ComputeTime(d.Spec(), d.Spec().Cores(), cst)
+		weights[i] = cst.Flops / t.Seconds()
+		if d.IsHost() && panelOnHost {
+			weights[i] *= hostDiscount
+		}
+		sum += weights[i]
+	}
+	owner := make([]*core.Domain, nt)
+	acc := make([]float64, len(doms))
+	for r := 0; r < nt; r++ {
+		best := 0
+		for i := range doms {
+			// Pick the domain furthest behind its fair share.
+			if acc[i]/weights[i] < acc[best]/weights[best] {
+				best = i
+			}
+		}
+		owner[r] = doms[best]
+		acc[best] += sum
+	}
+	return owner
+}
+
+// RunBestHetero runs the hetero configuration under both row
+// assignments — rate-weighted and even — and returns the better
+// result. This is the paper's "ease of design exploration" point
+// (§VI): hStreams' few-parameter mapping makes trying candidate
+// distributions cheap, which is how four days of tuning beat MKL AO's
+// fixed internal split by ~10 %.
+func RunBestHetero(machine func() *platform.Machine, mode core.Mode, n, tile, hostStreams int) (Result, error) {
+	best := Result{}
+	for _, even := range []bool{false, true} {
+		a, err := app.Init(app.Options{
+			Machine:        machine(),
+			Mode:           mode,
+			StreamsPerCard: 4,
+			HostStreams:    hostStreams,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := Run(a, Config{N: n, Tile: tile, UseHost: hostStreams > 0, Panel: PanelHost, EvenRows: even})
+		a.Fini()
+		if err != nil {
+			return Result{}, err
+		}
+		if r.GFlops > best.GFlops {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// cloneDeps copies a dependence list so per-action appends cannot
+// alias the shared pass barrier.
+func cloneDeps(deps []*core.Action) []*core.Action {
+	if len(deps) == 0 {
+		return nil
+	}
+	return append([]*core.Action(nil), deps...)
+}
+
+// potrfTileCost is the cost of factoring one tile with a blocked
+// DPOTRF (MKL-style), as the hetero and offload variants do.
+func potrfTileCost(n int) platform.Cost {
+	return platform.Cost{
+		Kernel: platform.KDPOTRF,
+		Flops:  float64(n) * float64(n) * float64(n) / 3,
+		N:      n,
+	}
+}
+
+// RunNative is the host-only baseline: one MKL-style DPOTRF on all
+// host cores (the "HSW native (MKL)" curve in Fig. 7).
+func RunNative(machine *platform.Machine, mode core.Mode, n int, seed int64) (Result, error) {
+	rt, err := core.Init(core.Config{Machine: machine, Mode: mode})
+	if err != nil {
+		return Result{}, err
+	}
+	defer rt.Fini()
+	host := rt.Host()
+	s, err := rt.StreamCreate(host, 0, host.Spec().Cores())
+	if err != nil {
+		return Result{}, err
+	}
+	buf, err := rt.Alloc1D("Anative", int64(n)*int64(n)*8)
+	if err != nil {
+		return Result{}, err
+	}
+	var spd *matrix.Dense
+	if mode == core.ModeReal {
+		rt.RegisterKernel("dpotrf.native", func(ctx *core.KernelCtx) {
+			nn := int(ctx.Args[0])
+			a := floatbits.Float64s(ctx.Ops[0])
+			if err := blas.Dpotrf(blas.Lower, nn, a, nn); err != nil {
+				panic(err)
+			}
+		})
+		spd = matrix.RandSPD(n, seed+7)
+		copy(buf.HostFloat64s(), spd.Data)
+	} else {
+		rt.RegisterKernel("dpotrf.native", func(ctx *core.KernelCtx) {})
+	}
+	start := rt.Now()
+	a, err := s.EnqueueCompute("dpotrf.native", []int64{int64(n)},
+		[]core.Operand{buf.All(core.InOut)}, kernels.PotrfCost(n))
+	if err != nil {
+		return Result{}, err
+	}
+	if err := a.Wait(); err != nil {
+		return Result{}, err
+	}
+	elapsed := rt.Now() - start
+	if mode == core.ModeReal {
+		l := matrix.FromSlice(n, n, n, buf.HostFloat64s())
+		if d := matrix.LowerTimesLowerT(l).MaxDiff(spd); d > 1e-7*float64(n) {
+			return Result{}, fmt.Errorf("chol: native verification failed: %g", d)
+		}
+	}
+	return Result{Seconds: elapsed, GFlops: platform.GFlops(blas.CholeskyFlops(n), elapsed)}, nil
+}
+
+// tileIn packs the dense SPD matrix into tile-major storage (both
+// triangles, so tile kernels see consistent mirrors).
+func tileIn(dst []float64, src *matrix.Dense, nt, tb int) {
+	for tj := 0; tj < nt; tj++ {
+		for ti := 0; ti < nt; ti++ {
+			tile := dst[(int64(tj)*int64(nt)+int64(ti))*int64(tb)*int64(tb):]
+			for jj := 0; jj < tb; jj++ {
+				for ii := 0; ii < tb; ii++ {
+					tile[ii+jj*tb] = src.At(ti*tb+ii, tj*tb+jj)
+				}
+			}
+		}
+	}
+}
+
+// verifyFactor reconstructs L·Lᵀ from the factored lower tiles and
+// compares with the original.
+func verifyFactor(data []float64, spd *matrix.Dense, nt, tb int) error {
+	n := nt * tb
+	l := matrix.New(n, n)
+	for tj := 0; tj < nt; tj++ {
+		for ti := tj; ti < nt; ti++ {
+			tile := data[(int64(tj)*int64(nt)+int64(ti))*int64(tb)*int64(tb):]
+			for jj := 0; jj < tb; jj++ {
+				for ii := 0; ii < tb; ii++ {
+					gi, gj := ti*tb+ii, tj*tb+jj
+					if gi >= gj {
+						l.Set(gi, gj, tile[ii+jj*tb])
+					}
+				}
+			}
+		}
+	}
+	rec := matrix.LowerTimesLowerT(l)
+	tol := 1e-7 * float64(n) * math.Max(1, spd.NormInf())
+	if d := rec.MaxDiff(spd); d > tol {
+		return fmt.Errorf("chol: verification failed: max diff %g (tol %g)", d, tol)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package chol
+
+import (
+	"testing"
+
+	"hstreams/internal/app"
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+func newApp(t *testing.T, m *platform.Machine, mode core.Mode, hostStreams int) *app.App {
+	t.Helper()
+	a, err := app.Init(app.Options{
+		Machine:        m,
+		Mode:           mode,
+		StreamsPerCard: 4,
+		HostStreams:    hostStreams,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Fini)
+	return a
+}
+
+func TestRealHeteroCholeskyCorrect(t *testing.T) {
+	a := newApp(t, platform.HSWPlusKNC(1), core.ModeReal, 2)
+	res, err := Run(a, Config{N: 48, Tile: 12, UseHost: true, Panel: PanelHost, Verify: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GFlops <= 0 {
+		t.Fatal("no performance measured")
+	}
+}
+
+func TestRealHetero2CardsCholeskyCorrect(t *testing.T) {
+	a := newApp(t, platform.HSWPlusKNC(2), core.ModeReal, 2)
+	if _, err := Run(a, Config{N: 60, Tile: 12, UseHost: true, Panel: PanelHost, Verify: true, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealOffloadCholeskyCorrect(t *testing.T) {
+	a := newApp(t, platform.HSWPlusKNC(1), core.ModeReal, 0)
+	if _, err := Run(a, Config{N: 36, Tile: 12, Panel: PanelCard, Verify: true, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealBulkSyncCholeskyCorrect(t *testing.T) {
+	a := newApp(t, platform.HSWPlusKNC(1), core.ModeReal, 2)
+	if _, err := Run(a, Config{N: 36, Tile: 12, UseHost: true, Panel: PanelHost, BulkSync: true, Verify: true, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealNativeCholeskyCorrect(t *testing.T) {
+	if _, err := RunNative(platform.HSWPlusKNC(0), core.ModeReal, 64, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealOmpSsCholeskyCorrect(t *testing.T) {
+	if _, err := RunOmpSs(platform.HSWPlusKNC(1), core.ModeReal, 48, 12, true, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadTiling(t *testing.T) {
+	a := newApp(t, platform.HSWPlusKNC(1), core.ModeSim, 1)
+	if _, err := Run(a, Config{N: 100, Tile: 7}); err != ErrBadTiling {
+		t.Fatalf("err = %v, want ErrBadTiling", err)
+	}
+	if _, err := RunOmpSs(platform.HSWPlusKNC(1), core.ModeSim, 100, 7, false, 0); err != ErrBadTiling {
+		t.Fatalf("ompss err = %v, want ErrBadTiling", err)
+	}
+}
+
+// TestSimFig7Ordering verifies the central Fig. 7 relationships at a
+// paper-scale size: hetero hStreams (host+cards) > bulk-sync AO-style
+// > pure offload > host native, and 2 cards > 1 card.
+func TestSimFig7Ordering(t *testing.T) {
+	const n, tile = 24000, 2400
+	hetero := func(cards int, bulk bool) float64 {
+		a := newApp(t, platform.HSWPlusKNC(cards), core.ModeSim, 4)
+		res, err := Run(a, Config{N: n, Tile: tile, UseHost: true, Panel: PanelHost, BulkSync: bulk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GFlops
+	}
+	h2 := hetero(2, false)
+	h1 := hetero(1, false)
+	ao1 := hetero(1, true)
+
+	aOff := newApp(t, platform.HSWPlusKNC(1), core.ModeSim, 0)
+	off, err := Run(aOff, Config{N: n, Tile: tile, Panel: PanelCard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := RunNative(platform.HSWPlusKNC(0), core.ModeSim, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("GF/s: H+2K=%.0f H+1K=%.0f AO(1K)=%.0f offload=%.0f native=%.0f",
+		h2, h1, ao1, off.GFlops, native.GFlops)
+	if !(h2 > h1) {
+		t.Fatalf("2 cards (%.0f) not faster than 1 (%.0f)", h2, h1)
+	}
+	if !(h1 > ao1) {
+		t.Fatalf("pipelined hStreams (%.0f) not faster than bulk-sync AO style (%.0f)", h1, ao1)
+	}
+	if !(off.GFlops > native.GFlops) {
+		t.Fatalf("offload (%.0f) not faster than host native (%.0f)", off.GFlops, native.GFlops)
+	}
+	if !(h1 > off.GFlops) {
+		t.Fatalf("hetero (%.0f) not faster than offload-ish (%.0f)", h1, off.GFlops)
+	}
+}
+
+// TestSimOmpSsOverheadBand reproduces §III: OmpSs induces 15–50 %
+// overhead over plain hStreams for matrices 4800–10000 on a side, and
+// the gap narrows for large problems.
+func TestSimOmpSsOverheadBand(t *testing.T) {
+	overheadAt := func(n, tile int) float64 {
+		a := newApp(t, platform.HSWPlusKNC(1), core.ModeSim, 0)
+		plain, err := Run(a, Config{N: n, Tile: tile, Panel: PanelCard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		om, err := RunOmpSs(platform.HSWPlusKNC(1), core.ModeSim, n, tile, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return om.Seconds.Seconds()/plain.Seconds.Seconds() - 1
+	}
+	small := overheadAt(4800, 600)
+	big := overheadAt(24000, 2400)
+	t.Logf("OmpSs overhead: %.0f%% at 4800, %.0f%% at 24000", small*100, big*100)
+	if small < 0.10 || small > 0.60 {
+		t.Fatalf("overhead at 4800 = %.0f%%, want within the paper's 15–50%% band (±5)", small*100)
+	}
+	if big >= small {
+		t.Fatalf("overhead must shrink with size: %.0f%% at 24000 ≥ %.0f%% at 4800", big*100, small*100)
+	}
+}
+
+// TestSimCholeskyScalingDegrades reproduces §VI: Cholesky scaling
+// efficiency from 1→2 cards is worse than matmul's because the upper
+// triangle does no work.
+func TestSimCholeskyScalingEfficiency(t *testing.T) {
+	const n, tile = 28800, 2400
+	run := func(cards int) float64 {
+		a := newApp(t, platform.HSWPlusKNC(cards), core.ModeSim, 4)
+		res, err := Run(a, Config{N: n, Tile: tile, UseHost: true, Panel: PanelHost})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GFlops
+	}
+	g1 := run(1)
+	g2 := run(2)
+	gain := g2 / g1
+	t.Logf("Cholesky 1→2 card gain: %.2f×", gain)
+	if gain < 1.05 {
+		t.Fatalf("no scaling at all: %.2f×", gain)
+	}
+	if gain > 1.75 {
+		t.Fatalf("Cholesky scaled implausibly well (%.2f×); paper reports degraded efficiency", gain)
+	}
+}

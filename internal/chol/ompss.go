@@ -1,0 +1,111 @@
+package chol
+
+import (
+	"hstreams/internal/blas"
+	"hstreams/internal/core"
+	"hstreams/internal/kernels"
+	"hstreams/internal/matrix"
+	"hstreams/internal/ompss"
+	"hstreams/internal/platform"
+)
+
+// RunOmpSs factors the matrix through the OmpSs task-dataflow runtime
+// (offload mode, as the paper evaluated it: "OmpSs has only been
+// tested in offload mode and for only one MIC", §VI). The program is
+// just the task graph with declared tile accesses — data movement,
+// stream management and dependence enforcement are the runtime's
+// problem, which is the productivity win the overhead pays for.
+func RunOmpSs(machine *platform.Machine, mode core.Mode, n, tile int, verify bool, seed int64) (Result, error) {
+	if n%tile != 0 {
+		return Result{}, ErrBadTiling
+	}
+	nt := n / tile
+	tbytes := kernels.TileBytes(tile)
+	r, err := ompss.Init(ompss.Config{Machine: machine, Mode: mode, Backend: ompss.BackendHStreams})
+	if err != nil {
+		return Result{}, err
+	}
+	defer r.Fini()
+	if mode == core.ModeReal {
+		kernels.Register(r.Core())
+	}
+
+	var spd *matrix.Dense
+	tiles := make([][]*ompss.Region, nt)
+	if mode == core.ModeReal {
+		spd = matrix.RandSPD(n, seed+7)
+	}
+	for i := range tiles {
+		tiles[i] = make([]*ompss.Region, nt)
+		for j := 0; j <= i; j++ {
+			reg, err := r.CreateData(tbytes)
+			if err != nil {
+				return Result{}, err
+			}
+			tiles[i][j] = reg
+			if mode == core.ModeReal {
+				data := reg.Buf().HostFloat64s()
+				for jj := 0; jj < tile; jj++ {
+					for ii := 0; ii < tile; ii++ {
+						data[ii+jj*tile] = spd.At(i*tile+ii, j*tile+jj)
+					}
+				}
+			}
+		}
+	}
+
+	start := r.Core().Now()
+	tb := int64(tile)
+	for k := 0; k < nt; k++ {
+		if _, err := r.Submit(kernels.Dpotf2, []int64{tb},
+			[]ompss.Arg{{R: tiles[k][k], Acc: ompss.InOut}}, potrfTileCost(tile)); err != nil {
+			return Result{}, err
+		}
+		for i := k + 1; i < nt; i++ {
+			if _, err := r.Submit(kernels.Dtrsm, []int64{tb, tb},
+				[]ompss.Arg{{R: tiles[k][k], Acc: ompss.In}, {R: tiles[i][k], Acc: ompss.InOut}},
+				kernels.TrsmCost(tile, tile)); err != nil {
+				return Result{}, err
+			}
+		}
+		for i := k + 1; i < nt; i++ {
+			for j := k + 1; j <= i; j++ {
+				if i == j {
+					if _, err := r.Submit(kernels.Dsyrk, []int64{tb, tb},
+						[]ompss.Arg{{R: tiles[i][k], Acc: ompss.In}, {R: tiles[i][i], Acc: ompss.InOut}},
+						kernels.SyrkCost(tile, tile)); err != nil {
+						return Result{}, err
+					}
+				} else {
+					if _, err := r.Submit(kernels.Dgemm, []int64{tb, tb, tb},
+						[]ompss.Arg{{R: tiles[i][k], Acc: ompss.In}, {R: tiles[j][k], Acc: ompss.In}, {R: tiles[i][j], Acc: ompss.InOut}},
+						kernels.GemmCost(tile, tile, tile)); err != nil {
+						return Result{}, err
+					}
+				}
+			}
+		}
+	}
+	r.Taskwait()
+	if err := r.Core().Err(); err != nil {
+		return Result{}, err
+	}
+	elapsed := r.Core().Now() - start
+
+	if verify && mode == core.ModeReal {
+		flat := make([]float64, int64(nt)*int64(nt)*int64(tile*tile))
+		for i := 0; i < nt; i++ {
+			for j := 0; j <= i; j++ {
+				if err := r.SyncToHost(tiles[i][j]); err != nil {
+					return Result{}, err
+				}
+				off := (int64(j)*int64(nt) + int64(i)) * int64(tile*tile)
+				copy(flat[off:off+int64(tile*tile)], tiles[i][j].Buf().HostFloat64s())
+			}
+		}
+		if err := verifyFactor(flat, spd, nt, tile); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Seconds: elapsed, GFlops: platform.GFlops(blas.CholeskyFlops(n), elapsed)}, nil
+}

@@ -1,0 +1,90 @@
+package chol
+
+import (
+	"testing"
+
+	"hstreams/internal/app"
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+// offloadGF runs the pure-offload Cholesky with a given stream count
+// and tile size.
+func offloadGF(t testing.TB, n, tile, streams int) float64 {
+	a, err := app.Init(app.Options{
+		Machine:        platform.HSWPlusKNC(1),
+		Mode:           core.ModeSim,
+		StreamsPerCard: streams,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Fini()
+	r, err := Run(a, Config{N: n, Tile: tile, Panel: PanelCard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.GFlops
+}
+
+// TestTuningTileSizeTradeoff reproduces §VI: "The best degree of
+// tiling … depends on the matrix size and algorithm." Tiny tiles
+// drown in per-action overheads and dependence latency; huge tiles
+// starve the pipeline; a middle tile wins — and the optimum moves
+// with the matrix size.
+func TestTuningTileSizeTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps fine tilings (hundreds of thousands of actions)")
+	}
+	// Small matrix: the sweet spot is a small tile.
+	tiny4800 := offloadGF(t, 4800, 150, 4)
+	mid4800 := offloadGF(t, 4800, 300, 4)
+	big4800 := offloadGF(t, 4800, 1200, 4)
+	t.Logf("tile sweep at n=4800: 150→%.0f, 300→%.0f, 1200→%.0f GF/s", tiny4800, mid4800, big4800)
+	if mid4800 <= tiny4800 || mid4800 <= big4800 {
+		t.Fatalf("n=4800: mid tile (%.0f) must beat extremes (%.0f, %.0f)", mid4800, tiny4800, big4800)
+	}
+	// Large matrix: the sweet spot is a larger tile.
+	small24k := offloadGF(t, 24000, 300, 4)
+	mid24k := offloadGF(t, 24000, 600, 4)
+	big24k := offloadGF(t, 24000, 4800, 4)
+	t.Logf("tile sweep at n=24000: 300→%.0f, 600→%.0f, 4800→%.0f GF/s", small24k, mid24k, big24k)
+	if mid24k <= small24k || mid24k <= big24k {
+		t.Fatalf("n=24000: mid tile (%.0f) must beat extremes (%.0f, %.0f)", mid24k, small24k, big24k)
+	}
+	// The optimum moved: the small matrix prefers a smaller tile.
+	if big4800 >= mid4800 {
+		t.Fatal("optimum did not shift with matrix size")
+	}
+}
+
+// TestAblationPipelining quantifies what the FIFO-semantic pipelining
+// is worth: the same hetero Cholesky with a barrier between passes
+// must be measurably slower.
+func TestAblationPipelining(t *testing.T) {
+	const n, tile = 24000, 2400
+	run := func(bulk bool) float64 {
+		a, err := app.Init(app.Options{
+			Machine:        platform.HSWPlusKNC(2),
+			Mode:           core.ModeSim,
+			StreamsPerCard: 4,
+			HostStreams:    4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Fini()
+		r, err := Run(a, Config{N: n, Tile: tile, UseHost: true, Panel: PanelHost, BulkSync: bulk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.GFlops
+	}
+	pipelined := run(false)
+	bulk := run(true)
+	gain := pipelined / bulk
+	t.Logf("pipelining ablation: pipelined %.0f vs bulk-sync %.0f GF/s (%.2f×)", pipelined, bulk, gain)
+	if gain < 1.05 {
+		t.Fatalf("pipelining worth only %.2f×; expected a clear gain", gain)
+	}
+}

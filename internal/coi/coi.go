@@ -1,0 +1,410 @@
+// Package coi is the Co-processor Offload Infrastructure layer of the
+// stack, modeled on Intel COI, the plumbing hStreams is built on in
+// the paper (§III):
+//
+//	application → hStreams → COI → SCIF (internal/fabric) → PCIe
+//
+// It provides sink-side processes, FIFO pipelines of run-functions,
+// registered buffers with host↔sink movement over fabric DMA, and
+// completion events. Control traffic (run-function descriptors and
+// completions) really travels over fabric endpoints, encoded with
+// encoding/gob, so the layering the paper describes is an actual code
+// path, not a diagram.
+//
+// The buffer pool reproduces the paper's allocation observation: COI
+// overheads were negligible when a pool of 2 MB buffers was used, and
+// significant when it was not (as in the OmpSs configuration).
+package coi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hstreams/internal/fabric"
+)
+
+// Common errors.
+var (
+	ErrUnknownFunction = errors.New("coi: run-function not registered")
+	ErrUnknownBuffer   = errors.New("coi: unknown buffer id")
+	ErrProcessDown     = errors.New("coi: process destroyed")
+	ErrBadRange        = errors.New("coi: access outside buffer")
+)
+
+// RunFunc is a sink-side entry point. Buffers arrive as slices of the
+// sink instances, in the order they were passed to RunFunction.
+type RunFunc func(args []int64, bufs [][]byte)
+
+// msg is the wire format for control traffic.
+type msg struct {
+	Op       byte // 'r' run, 'c' completion, 'p' new pipeline, 'q' quit
+	Fn       string
+	Args     []int64
+	BufIDs   []uint64
+	Pipeline uint64
+	Event    uint64
+	Err      string
+}
+
+func encode(m msg) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic(fmt.Sprintf("coi: encode: %v", err)) // msg is always encodable
+	}
+	return buf.Bytes()
+}
+
+func decode(b []byte) (msg, error) {
+	var m msg
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
+	return m, err
+}
+
+// Event signals completion of one run-function invocation.
+type Event struct {
+	done chan struct{}
+	err  error
+}
+
+func newEvent() *Event { return &Event{done: make(chan struct{})} }
+
+// Wait blocks until the invocation finished and returns its error.
+func (e *Event) Wait() error {
+	<-e.done
+	return e.err
+}
+
+// Done returns a channel closed on completion.
+func (e *Event) Done() <-chan struct{} { return e.done }
+
+// Process is the host-side handle to a sink engine running on a card
+// domain. It owns the control endpoints, the registered functions, the
+// sink buffer instances, and the sink pipelines.
+type Process struct {
+	fab    *fabric.Fabric
+	source *fabric.Node
+	sink   *fabric.Node
+	srcEP  *fabric.Endpoint
+	sinkEP *fabric.Endpoint
+	pool   *BufferPool
+
+	mu        sync.Mutex
+	funcs     map[string]RunFunc
+	buffers   map[uint64]*Buffer
+	pipelines map[uint64]*Pipeline
+	events    map[uint64]*Event
+	nextID    uint64
+	down      bool
+
+	wg sync.WaitGroup
+}
+
+// Options configures process creation.
+type Options struct {
+	// PoolBuffers enables the 2 MB sink buffer pool. Disabling it
+	// reproduces the allocation overheads the paper saw with OmpSs.
+	PoolBuffers bool
+}
+
+// CreateProcess starts a sink engine on the sink node and returns the
+// host-side handle. The two nodes must be connected on the fabric.
+func CreateProcess(f *fabric.Fabric, source, sink *fabric.Node, opt Options) (*Process, error) {
+	srcEP, sinkEP, err := fabric.ConnectPair(f, source, sink)
+	if err != nil {
+		return nil, err
+	}
+	p := &Process{
+		fab:       f,
+		source:    source,
+		sink:      sink,
+		srcEP:     srcEP,
+		sinkEP:    sinkEP,
+		funcs:     make(map[string]RunFunc),
+		buffers:   make(map[uint64]*Buffer),
+		pipelines: make(map[uint64]*Pipeline),
+		events:    make(map[uint64]*Event),
+	}
+	if opt.PoolBuffers {
+		p.pool = NewBufferPool(DefaultPoolChunk)
+	}
+	p.wg.Add(2)
+	go p.sinkLoop()
+	go p.sourceLoop()
+	return p, nil
+}
+
+// id allocates a process-unique id. Caller must hold p.mu or be the
+// only writer.
+func (p *Process) id() uint64 {
+	p.nextID++
+	return p.nextID
+}
+
+// RegisterFunction makes fn invocable by name from pipelines. It
+// mirrors COI's sink-side symbol lookup.
+func (p *Process) RegisterFunction(name string, fn RunFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.funcs[name] = fn
+}
+
+// Sink returns the sink node of the process.
+func (p *Process) Sink() *fabric.Node { return p.sink }
+
+// sinkLoop is the card-side dispatcher: it decodes run-function
+// descriptors and feeds per-pipeline executors.
+func (p *Process) sinkLoop() {
+	defer p.wg.Done()
+	for {
+		raw, err := p.sinkEP.Recv()
+		if err != nil {
+			return
+		}
+		m, err := decode(raw)
+		if err != nil {
+			continue
+		}
+		switch m.Op {
+		case 'q':
+			p.mu.Lock()
+			for _, pl := range p.pipelines {
+				pl.closeQueue()
+			}
+			p.mu.Unlock()
+			p.sinkEP.Close()
+			return
+		case 'r':
+			p.mu.Lock()
+			pl := p.pipelines[m.Pipeline]
+			p.mu.Unlock()
+			if pl != nil {
+				pl.queue <- m
+			}
+		}
+	}
+}
+
+// sourceLoop routes completions back to host-side events.
+func (p *Process) sourceLoop() {
+	defer p.wg.Done()
+	for {
+		raw, err := p.srcEP.Recv()
+		if err != nil {
+			return
+		}
+		m, err := decode(raw)
+		if err != nil || m.Op != 'c' {
+			continue
+		}
+		p.mu.Lock()
+		ev := p.events[m.Event]
+		delete(p.events, m.Event)
+		p.mu.Unlock()
+		if ev != nil {
+			if m.Err != "" {
+				ev.err = errors.New(m.Err)
+			}
+			close(ev.done)
+		}
+	}
+}
+
+// Destroy shuts the process down, waiting for the sink to drain.
+func (p *Process) Destroy() {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		return
+	}
+	p.down = true
+	p.mu.Unlock()
+	_, _ = p.srcEP.Send(encode(msg{Op: 'q'}))
+	p.srcEP.Close()
+	p.wg.Wait()
+}
+
+// Pipeline is a FIFO queue of run-function invocations executing on
+// the sink — COI's ordering guarantee that hStreams builds streams on.
+type Pipeline struct {
+	p     *Process
+	id    uint64
+	queue chan msg
+	once  sync.Once
+	wg    sync.WaitGroup
+}
+
+const pipelineDepth = 256
+
+// CreatePipeline creates a sink pipeline with its own executor.
+func (p *Process) CreatePipeline() (*Pipeline, error) {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		return nil, ErrProcessDown
+	}
+	pl := &Pipeline{p: p, id: p.id(), queue: make(chan msg, pipelineDepth)}
+	p.pipelines[pl.id] = pl
+	p.mu.Unlock()
+	pl.wg.Add(1)
+	go pl.run()
+	return pl, nil
+}
+
+func (pl *Pipeline) closeQueue() { pl.once.Do(func() { close(pl.queue) }) }
+
+// run executes descriptors in FIFO order on the sink.
+func (pl *Pipeline) run() {
+	defer pl.wg.Done()
+	for m := range pl.queue {
+		reply := msg{Op: 'c', Event: m.Event}
+		pl.p.mu.Lock()
+		fn := pl.p.funcs[m.Fn]
+		bufs := make([][]byte, len(m.BufIDs))
+		for i, id := range m.BufIDs {
+			b := pl.p.buffers[id]
+			if b == nil {
+				fn = nil
+				reply.Err = ErrUnknownBuffer.Error()
+				break
+			}
+			bufs[i] = b.sinkWin.Bytes()
+		}
+		p := pl.p
+		p.mu.Unlock()
+		if fn == nil {
+			if reply.Err == "" {
+				reply.Err = ErrUnknownFunction.Error()
+			}
+		} else {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						reply.Err = fmt.Sprintf("coi: run-function panic: %v", r)
+					}
+				}()
+				fn(m.Args, bufs)
+			}()
+		}
+		_, _ = p.sinkEP.Send(encode(reply))
+	}
+}
+
+// RunFunction enqueues a sink invocation of the named function with
+// the given scalar args and buffer operands, returning immediately
+// with a completion event.
+func (pl *Pipeline) RunFunction(name string, args []int64, bufs ...*Buffer) (*Event, error) {
+	ev := newEvent()
+	m := msg{Op: 'r', Fn: name, Args: args, Pipeline: pl.id}
+	for _, b := range bufs {
+		if b.proc != pl.p {
+			return nil, ErrUnknownBuffer
+		}
+		m.BufIDs = append(m.BufIDs, b.id)
+	}
+	pl.p.mu.Lock()
+	if pl.p.down {
+		pl.p.mu.Unlock()
+		return nil, ErrProcessDown
+	}
+	m.Event = pl.p.id()
+	pl.p.events[m.Event] = ev
+	pl.p.mu.Unlock()
+	if _, err := pl.p.srcEP.Send(encode(m)); err != nil {
+		pl.p.mu.Lock()
+		delete(pl.p.events, m.Event)
+		pl.p.mu.Unlock()
+		return nil, err
+	}
+	return ev, nil
+}
+
+// Buffer is a COI buffer: sink-side storage addressable by run
+// functions, filled and drained from the host over DMA.
+type Buffer struct {
+	proc    *Process
+	id      uint64
+	size    int
+	sinkWin *fabric.Window
+	pooled  []byte
+	// allocTime is the modeled cost of the sink allocation; zero when
+	// the buffer came from the pool.
+	allocTime time.Duration
+}
+
+// FreshAllocCost is the modeled sink-side cost of a cold buffer
+// allocation (pinning + page setup). The paper reports these as
+// significant when pooling is off.
+const FreshAllocCost = 300 * time.Microsecond
+
+// CreateBuffer allocates sink storage of the given size.
+func (p *Process) CreateBuffer(size int) (*Buffer, error) {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		return nil, ErrProcessDown
+	}
+	id := p.id()
+	p.mu.Unlock()
+
+	b := &Buffer{proc: p, id: id, size: size}
+	if p.pool != nil {
+		mem, fresh := p.pool.Get(size)
+		b.pooled = mem
+		b.sinkWin = fabric.RegisterBacked(p.sink, mem[:size])
+		if fresh {
+			b.allocTime = FreshAllocCost
+		}
+	} else {
+		b.sinkWin = fabric.Register(p.sink, size)
+		b.allocTime = FreshAllocCost
+	}
+	p.mu.Lock()
+	p.buffers[id] = b
+	p.mu.Unlock()
+	return b, nil
+}
+
+// Destroy releases the buffer (returning pooled storage to the pool).
+func (b *Buffer) Destroy() {
+	b.proc.mu.Lock()
+	delete(b.proc.buffers, b.id)
+	pool := b.proc.pool
+	b.proc.mu.Unlock()
+	if pool != nil && b.pooled != nil {
+		pool.Put(b.pooled)
+		b.pooled = nil
+	}
+}
+
+// Size returns the buffer's length in bytes.
+func (b *Buffer) Size() int { return b.size }
+
+// AllocTime returns the modeled cost of this buffer's allocation
+// (zero if it was satisfied from the pool).
+func (b *Buffer) AllocTime() time.Duration { return b.allocTime }
+
+// Write moves host bytes into the sink instance at off and returns the
+// modeled wire time.
+func (b *Buffer) Write(off int, src []byte) (time.Duration, error) {
+	if off < 0 || off+len(src) > b.size {
+		return 0, ErrBadRange
+	}
+	return b.sinkWin.DMAWrite(b.proc.fab, b.proc.source, off, src)
+}
+
+// Read moves sink bytes at off back to the host and returns the
+// modeled wire time.
+func (b *Buffer) Read(off int, dst []byte) (time.Duration, error) {
+	if off < 0 || off+len(dst) > b.size {
+		return 0, ErrBadRange
+	}
+	return b.sinkWin.DMARead(b.proc.fab, b.proc.source, off, dst)
+}
+
+// SinkBytes exposes the sink instance for sink-side (run-function)
+// access in tests.
+func (b *Buffer) SinkBytes() []byte { return b.sinkWin.Bytes() }

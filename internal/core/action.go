@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hstreams/internal/platform"
+	"hstreams/internal/trace"
+)
+
+// ActKind classifies an action.
+type ActKind int
+
+const (
+	// ActCompute is a kernel invocation at the stream's sink.
+	ActCompute ActKind = iota
+	// ActXferToSink moves operand bytes from the source instance to
+	// the sink instance.
+	ActXferToSink
+	// ActXferToSrc moves operand bytes from the sink instance back to
+	// the source instance.
+	ActXferToSrc
+	// ActSync is a synchronization marker: it orders against every
+	// earlier action in its stream and every later one.
+	ActSync
+)
+
+func (k ActKind) String() string {
+	switch k {
+	case ActCompute:
+		return "compute"
+	case ActXferToSink:
+		return "xfer→sink"
+	case ActXferToSrc:
+		return "xfer→src"
+	case ActSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("ActKind(%d)", int(k))
+	}
+}
+
+// Action is one enqueued unit of work. A completed action doubles as
+// an event: it can be waited on by the host (Runtime.EventWait) or by
+// other streams (Stream.EnqueueEventWait).
+type Action struct {
+	id     uint64
+	kind   ActKind
+	stream *Stream
+	label  string
+
+	// Compute payload.
+	kernel   string
+	kernelID int64
+	kernelFn Kernel
+	args     []int64
+	cost     platform.Cost
+	// Operands (compute: user-declared; transfers: the moved range).
+	ops []Operand
+	// Transfer payload.
+	bytes int64
+
+	// Scheduling state, guarded by rt.mu.
+	npend int
+	succs []*Action
+	state actState
+
+	// ready is the earliest virtual start (Sim mode): the source
+	// thread's enqueue completion time.
+	ready time.Duration
+
+	// Results.
+	done       chan struct{}
+	err        error
+	start, end time.Duration
+}
+
+type actState int
+
+const (
+	statePending actState = iota
+	stateLaunched
+	stateDone
+)
+
+// ID returns the action's runtime-unique id.
+func (a *Action) ID() uint64 { return a.id }
+
+// Kind returns the action's kind.
+func (a *Action) Kind() ActKind { return a.kind }
+
+// Stream returns the stream the action was enqueued into.
+func (a *Action) Stream() *Stream { return a.stream }
+
+// Done returns a channel closed when the action completes.
+func (a *Action) Done() <-chan struct{} { return a.done }
+
+// Completed reports whether the action has finished.
+func (a *Action) Completed() bool {
+	select {
+	case <-a.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the action's error; valid after completion.
+func (a *Action) Err() error { return a.err }
+
+// Wait blocks the host until the action completes and returns its
+// error. In Sim mode it pumps the virtual clock.
+func (a *Action) Wait() error {
+	a.stream.rt.exec.waitAction(a)
+	return a.err
+}
+
+// Times returns the executed interval on the runtime clock; valid
+// after completion.
+func (a *Action) Times() (start, end time.Duration) { return a.start, a.end }
+
+// enqueue computes dependences under the FIFO-semantic rule and hands
+// ready actions to the executor. extraDeps carry cross-stream event
+// waits.
+func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
+	for _, o := range a.ops {
+		if !o.valid() {
+			return nil, ErrBadOperand
+		}
+		if o.Buf.rt != rt {
+			return nil, ErrWrongRuntime
+		}
+	}
+	s := a.stream
+	rt.mu.Lock()
+	if rt.finalized {
+		rt.mu.Unlock()
+		return nil, ErrFinalized
+	}
+	if s.destroyed {
+		rt.mu.Unlock()
+		return nil, ErrBadStream
+	}
+	rt.nextID++
+	a.id = rt.nextID
+	a.done = make(chan struct{})
+
+	// Sim-mode source thread accounting: each enqueue call costs
+	// SourceOverhead on the host thread. (The host clock advances on
+	// waits, not with the engine, which may be pumped ahead.)
+	if rt.cfg.Mode == ModeSim {
+		se := rt.exec.(*simExec)
+		se.hostTime += rt.cfg.SourceOverhead
+		a.ready = se.hostTime
+	}
+
+	// Dependences: program order within the stream, restricted to
+	// hazardous operand overlap; sync actions order against
+	// everything (paper §II: actions are free to execute and complete
+	// out of order as long as the FIFO semantic is not violated).
+	addDep := func(b *Action) {
+		if b.state == stateDone || b == a {
+			return
+		}
+		for _, existing := range b.succs {
+			if existing == a {
+				return
+			}
+		}
+		b.succs = append(b.succs, a)
+		a.npend++
+	}
+	for _, b := range s.inflight {
+		if a.kind == ActSync || b.kind == ActSync {
+			addDep(b)
+			continue
+		}
+		if hazard(a, b) {
+			addDep(b)
+		}
+	}
+	for _, d := range extraDeps {
+		if d.stream.rt != rt {
+			rt.mu.Unlock()
+			return nil, ErrWrongRuntime
+		}
+		addDep(d)
+	}
+	s.inflight = append(s.inflight, a)
+	rt.outstanding++
+	launch := a.npend == 0
+	if launch {
+		a.state = stateLaunched
+	}
+	rt.mu.Unlock()
+
+	if launch {
+		rt.exec.launch(a)
+	}
+	if se, ok := rt.exec.(*simExec); ok {
+		se.maybeDrain(s)
+	}
+	return a, nil
+}
+
+// hazard reports whether two actions' operand sets conflict.
+func hazard(a, b *Action) bool {
+	for _, oa := range a.ops {
+		for _, ob := range b.ops {
+			if oa.hazardWith(ob) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// finish completes an action: records the trace, retires it from its
+// stream, and launches any successors whose last dependence this was.
+// Executors call it exactly once per action.
+func (rt *Runtime) finish(a *Action, err error) {
+	rt.mu.Lock()
+	a.err = err
+	a.state = stateDone
+	s := a.stream
+	for i, x := range s.inflight {
+		if x == a {
+			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+			break
+		}
+	}
+	var ready []*Action
+	for _, succ := range a.succs {
+		// Successors may start no earlier than this completion; the
+		// Sim executor reads the propagated ready time rather than
+		// the engine clock, so the clock can be pumped ahead safely.
+		if succ.ready < a.end {
+			succ.ready = a.end
+		}
+		succ.npend--
+		if succ.npend == 0 && succ.state == statePending {
+			succ.state = stateLaunched
+			ready = append(ready, succ)
+		}
+	}
+	rt.outstanding--
+	rt.mu.Unlock()
+
+	rt.setErr(err)
+	kind := trace.Compute
+	switch a.kind {
+	case ActXferToSink, ActXferToSrc:
+		kind = trace.Transfer
+	case ActSync:
+		kind = trace.Sync
+	}
+	rt.rec.Add(trace.Record{
+		ID:     a.id,
+		Kind:   kind,
+		Stream: s.name,
+		Domain: s.domain.spec.Name,
+		Label:  a.label,
+		Start:  a.start,
+		End:    a.end,
+		Bytes:  a.bytes,
+		Flops:  a.cost.Flops,
+	})
+	close(a.done)
+	for _, r := range ready {
+		rt.exec.launch(r)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hstreams/internal/coi"
+	"hstreams/internal/floatbits"
+)
+
+// proxyAlign keeps distinct buffers on distinct cache-line-aligned
+// proxy addresses.
+const proxyAlign = 64
+
+// Buf is an hStreams buffer: a range of the unified source proxy
+// address space, instantiated in every domain. The host instance is
+// the source of truth the source thread may touch directly; card
+// instances live sink-side and are reached by transfers.
+type Buf struct {
+	rt    *Runtime
+	name  string
+	size  int64
+	proxy uint64
+	host  []byte        // source instance (nil in Sim mode)
+	inst  []*coi.Buffer // per domain index; nil for host / Sim
+}
+
+// Alloc1D creates a buffer of size bytes, instantiated in all domains
+// (hStreams_app_create_buf). In Sim mode no memory is allocated —
+// paper-scale experiments would need tens of GB — and only the proxy
+// bookkeeping exists.
+func (rt *Runtime) Alloc1D(name string, size int64) (*Buf, error) {
+	if size <= 0 {
+		return nil, ErrBadBufferSize
+	}
+	rt.mu.Lock()
+	if rt.finalized {
+		rt.mu.Unlock()
+		return nil, ErrFinalized
+	}
+	proxy := rt.nextProxy
+	rt.nextProxy += (uint64(size) + proxyAlign - 1) / proxyAlign * proxyAlign
+	rt.mu.Unlock()
+
+	b := &Buf{rt: rt, name: name, size: size, proxy: proxy}
+	switch rt.cfg.Mode {
+	case ModeReal:
+		b.host = make([]byte, size)
+		b.inst = make([]*coi.Buffer, len(rt.domains))
+		for i := 1; i < len(rt.domains); i++ {
+			cb, err := rt.procs[i].CreateBuffer(int(size))
+			if err != nil {
+				return nil, fmt.Errorf("core: instantiating %q in %s: %w", name, rt.domains[i].spec.Name, err)
+			}
+			b.inst[i] = cb
+		}
+	case ModeSim:
+		// Synchronous sink-side allocation blocks the source thread
+		// for each card instantiation (the bottleneck §VII calls
+		// out); AsyncAlloc overlaps it with other source work.
+		if !rt.cfg.AsyncAlloc {
+			rt.ChargeSource(time.Duration(rt.NumCards()) * coi.FreshAllocCost)
+		}
+	}
+	rt.mu.Lock()
+	rt.bufs = append(rt.bufs, b)
+	rt.mu.Unlock()
+	return b, nil
+}
+
+// AllocFloat64 creates a buffer holding n float64 elements and, in
+// Real mode, returns the host instance viewed as a []float64.
+func (rt *Runtime) AllocFloat64(name string, n int) (*Buf, []float64, error) {
+	b, err := rt.Alloc1D(name, int64(n)*8)
+	if err != nil {
+		return nil, nil, err
+	}
+	if b.host == nil {
+		return b, nil, nil
+	}
+	return b, floatbits.Float64s(b.host), nil
+}
+
+// Name returns the buffer's name.
+func (b *Buf) Name() string { return b.name }
+
+// Size returns the buffer's length in bytes.
+func (b *Buf) Size() int64 { return b.size }
+
+// ProxyBase returns the buffer's base address in the source proxy
+// address space.
+func (b *Buf) ProxyBase() uint64 { return b.proxy }
+
+// HostBytes returns the host (source) instance, or nil in Sim mode.
+func (b *Buf) HostBytes() []byte { return b.host }
+
+// HostFloat64s returns the host instance viewed as float64s, or nil
+// in Sim mode.
+func (b *Buf) HostFloat64s() []float64 {
+	if b.host == nil {
+		return nil
+	}
+	return floatbits.Float64s(b.host)
+}
+
+// instanceBytes resolves the buffer's storage for a domain. Host-as-
+// target streams alias the source instance — the aliasing that lets
+// the runtime optimize host-stream transfers away (paper §V).
+func (b *Buf) instanceBytes(d *Domain) []byte {
+	if d.IsHost() || b.inst == nil || b.inst[d.index] == nil {
+		return b.host
+	}
+	return b.inst[d.index].SinkBytes()
+}
+
+// Resolve translates a proxy address range to the owning buffer and
+// offset, mirroring hStreams' proxy-address lookup.
+func (rt *Runtime) Resolve(proxy uint64, n int64) (*Buf, int64, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, b := range rt.bufs {
+		if proxy >= b.proxy && proxy+uint64(n) <= b.proxy+uint64(b.size) {
+			return b, int64(proxy - b.proxy), nil
+		}
+	}
+	return nil, 0, fmt.Errorf("core: proxy range [%#x,+%d) not in any buffer", proxy, n)
+}
+
+// Access declares how an action touches an operand.
+type Access int
+
+const (
+	// In marks a read-only operand.
+	In Access = iota
+	// Out marks a write-only operand.
+	Out
+	// InOut marks a read-write operand.
+	InOut
+)
+
+func (a Access) String() string {
+	switch a {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("Access(%d)", int(a))
+	}
+}
+
+// writes reports whether the access modifies the operand.
+func (a Access) writes() bool { return a != In }
+
+// Operand is a byte range of a buffer with a declared access mode —
+// the basis of hStreams dependence analysis (paper §II).
+type Operand struct {
+	Buf *Buf
+	Off int64
+	Len int64
+	Acc Access
+}
+
+// Range builds an operand over b[off:off+n].
+func (b *Buf) Range(off, n int64, acc Access) Operand {
+	return Operand{Buf: b, Off: off, Len: n, Acc: acc}
+}
+
+// All builds an operand covering the whole buffer.
+func (b *Buf) All(acc Access) Operand { return Operand{Buf: b, Off: 0, Len: b.size, Acc: acc} }
+
+// FloatRange builds an operand over elements [i, i+n) of a float64
+// buffer.
+func (b *Buf) FloatRange(i, n int, acc Access) Operand {
+	return Operand{Buf: b, Off: int64(i) * 8, Len: int64(n) * 8, Acc: acc}
+}
+
+// valid reports whether the operand lies inside its buffer.
+func (o Operand) valid() bool {
+	return o.Buf != nil && o.Off >= 0 && o.Len >= 0 && o.Off+o.Len <= o.Buf.size
+}
+
+// overlaps reports whether two operands touch intersecting bytes.
+// Empty ranges touch nothing.
+func (o Operand) overlaps(p Operand) bool {
+	return o.Buf == p.Buf && o.Len > 0 && p.Len > 0 &&
+		o.Off < p.Off+p.Len && p.Off < o.Off+o.Len
+}
+
+// hazardWith reports whether ordering must be preserved between two
+// operand accesses (RAW, WAR or WAW).
+func (o Operand) hazardWith(p Operand) bool {
+	return o.overlaps(p) && (o.Acc.writes() || p.Acc.writes())
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hstreams/internal/coi"
+)
+
+// trampolineName is the sink-side symbol all compute actions dispatch
+// through on card domains; it decodes operand ranges and calls the
+// registered kernel.
+const trampolineName = "hs.kernel"
+
+// realExec runs actions for real: kernels execute on goroutines,
+// card-domain computes travel through the COI pipeline of their
+// stream, transfers move bytes over the fabric. Computes within one
+// stream serialize (they own the stream's cores); transfers use
+// per-link-direction DMA serialization, so compute/transfer overlap
+// is real.
+type realExec struct {
+	rt    *Runtime
+	epoch time.Time
+	// dma[i] serializes the two DMA directions of domain i.
+	dma []*[2]sync.Mutex
+}
+
+func newRealExec(rt *Runtime) *realExec {
+	re := &realExec{rt: rt, epoch: time.Now()}
+	re.dma = make([]*[2]sync.Mutex, len(rt.domains))
+	for i := range re.dma {
+		re.dma[i] = &[2]sync.Mutex{}
+	}
+	return re
+}
+
+func (re *realExec) launch(a *Action) { go re.run(a) }
+
+func (re *realExec) run(a *Action) {
+	var err error
+	s := a.stream
+	switch a.kind {
+	case ActCompute:
+		s.computeMu.Lock()
+		a.start = re.now()
+		err = re.compute(a)
+		a.end = re.now()
+		s.computeMu.Unlock()
+	case ActXferToSink, ActXferToSrc:
+		err = re.transfer(a)
+	case ActSync:
+		a.start = re.now()
+		a.end = a.start
+	}
+	re.rt.finish(a, err)
+}
+
+// compute executes a kernel at the stream's sink: directly for
+// host-as-target streams, through the COI pipeline for cards.
+func (re *realExec) compute(a *Action) error {
+	s := a.stream
+	if s.domain.IsHost() {
+		ops := make([][]byte, len(a.ops))
+		for i, o := range a.ops {
+			ops[i] = o.Buf.host[o.Off : o.Off+o.Len]
+		}
+		return safeCall(a.kernelFn, &KernelCtx{Args: a.args, Ops: ops, Threads: s.nCores})
+	}
+	// Card domain: ship [kernelID, threads, nArgs, args…, nOps,
+	// (off,len)…] plus the operands' COI buffers to the sink.
+	targs := make([]int64, 0, 4+len(a.args)+2*len(a.ops))
+	targs = append(targs, a.kernelID, int64(s.nCores), int64(len(a.args)))
+	targs = append(targs, a.args...)
+	targs = append(targs, int64(len(a.ops)))
+	coiBufs := make([]*coi.Buffer, len(a.ops))
+	for i, o := range a.ops {
+		targs = append(targs, o.Off, o.Len)
+		coiBufs[i] = o.Buf.inst[s.domain.index]
+	}
+	ev, err := s.pipeline.RunFunction(trampolineName, targs, coiBufs...)
+	if err != nil {
+		return err
+	}
+	return ev.Wait()
+}
+
+// safeCall invokes a kernel, converting panics into errors so one bad
+// kernel cannot take the runtime down.
+func safeCall(fn Kernel, ctx *KernelCtx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: kernel panic: %v", r)
+		}
+	}()
+	fn(ctx)
+	return nil
+}
+
+// transfer moves operand bytes between the source and sink instances.
+func (re *realExec) transfer(a *Action) error {
+	s := a.stream
+	if s.domain.IsHost() {
+		// Host-as-target streams alias instances; optimized away.
+		a.start = re.now()
+		a.end = a.start
+		return nil
+	}
+	o := a.ops[0]
+	cb := o.Buf.inst[s.domain.index]
+	dir := 0
+	if a.kind == ActXferToSrc {
+		dir = 1
+	}
+	mu := &re.dma[s.domain.index][dir]
+	mu.Lock()
+	defer mu.Unlock()
+	a.start = re.now()
+	var err error
+	if a.kind == ActXferToSink {
+		_, err = cb.Write(int(o.Off), o.Buf.host[o.Off:o.Off+o.Len])
+	} else {
+		_, err = cb.Read(int(o.Off), o.Buf.host[o.Off:o.Off+o.Len])
+	}
+	a.end = re.now()
+	return err
+}
+
+func (re *realExec) waitAction(a *Action) { <-a.done }
+
+func (re *realExec) now() time.Duration { return time.Since(re.epoch) }
+
+func (re *realExec) fini() {}
+
+// trampoline is the sink-side entry point registered with every COI
+// process; it decodes the wire arguments built in compute.
+func (rt *Runtime) trampoline(args []int64, bufs [][]byte) {
+	kid, threads, nArgs := args[0], args[1], args[2]
+	user := args[3 : 3+nArgs]
+	rest := args[3+nArgs:]
+	nOps := rest[0]
+	ops := make([][]byte, nOps)
+	for i := int64(0); i < nOps; i++ {
+		off, ln := rest[1+2*i], rest[2+2*i]
+		ops[i] = bufs[i][off : off+ln]
+	}
+	fn := rt.kernelByID(kid)
+	if fn == nil {
+		panic(fmt.Sprintf("core: sink kernel id %d not registered", kid))
+	}
+	fn(&KernelCtx{Args: user, Ops: ops, Threads: int(threads)})
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hstreams/internal/platform"
+	"hstreams/internal/timesim"
+)
+
+// simExec schedules the action graph on a virtual clock. Each stream
+// sink is a serially-occupied compute slot; each direction of each
+// card's PCIe link is a DMA resource. Durations come from the
+// platform cost model, so paper-scale runs finish in milliseconds of
+// wall time. Sim mode assumes a single host goroutine (all the
+// harness drivers are sequential), which makes runs deterministic.
+type simExec struct {
+	rt       *Runtime
+	eng      *timesim.Engine
+	hostTime time.Duration
+	// links[i] holds the two DMA directions for domain i
+	// (0: source→sink, 1: sink→source); nil for the host.
+	links [][2]*timesim.Resource
+}
+
+func newSimExec(rt *Runtime) *simExec {
+	se := &simExec{rt: rt, eng: timesim.NewEngine()}
+	se.links = make([][2]*timesim.Resource, len(rt.domains))
+	for i := 1; i < len(rt.domains); i++ {
+		name := rt.domains[i].spec.Name
+		se.links[i] = [2]*timesim.Resource{
+			timesim.NewResource(name + ".dma.toSink"),
+			timesim.NewResource(name + ".dma.toSrc"),
+		}
+	}
+	return se
+}
+
+func (se *simExec) launch(a *Action) {
+	// a.ready carries the exact earliest start: the source thread's
+	// enqueue time, raised by each completing dependence (see
+	// Runtime.finish). It is deliberately independent of the engine
+	// clock, which may have been pumped ahead.
+	ready := a.ready
+	s := a.stream
+	var start, end time.Duration
+	switch a.kind {
+	case ActCompute:
+		dur := platform.ComputeTime(s.domain.spec, s.nCores, a.cost)
+		start, end = s.slot.Reserve(ready, dur)
+	case ActXferToSink, ActXferToSrc:
+		if s.domain.IsHost() {
+			// Host-as-target: instances alias, transfer optimized away.
+			start, end = ready, ready
+		} else {
+			dir := 0
+			if a.kind == ActXferToSrc {
+				dir = 1
+			}
+			dur := se.rt.machine.LinkFor(s.domain.index - 1).TransferTime(a.bytes)
+			start, end = se.links[s.domain.index][dir].Reserve(ready, dur)
+		}
+	case ActSync:
+		start, end = ready, ready
+	}
+	a.start, a.end = start, end
+	se.eng.Post(end, func() { se.rt.finish(a, nil) })
+}
+
+// Inflight thresholds: when a stream's incomplete-action window grows
+// past high, the executor pumps completions until it shrinks below
+// low, keeping the per-enqueue dependence scan bounded for programs
+// with hundreds of thousands of actions.
+const (
+	simInflightHigh = 4096
+	simInflightLow  = 1024
+)
+
+// maybeDrain pumps the engine while stream s has a large incomplete
+// window. Safe because start times come from propagated ready times,
+// not the engine clock.
+func (se *simExec) maybeDrain(s *Stream) {
+	if se.inflight(s) < simInflightHigh {
+		return
+	}
+	for se.inflight(s) > simInflightLow {
+		if !se.eng.Step() {
+			return
+		}
+	}
+}
+
+func (se *simExec) inflight(s *Stream) int {
+	se.rt.mu.Lock()
+	n := len(s.inflight)
+	se.rt.mu.Unlock()
+	return n
+}
+
+func (se *simExec) waitAction(a *Action) {
+	if se.eng.RunUntil(a.Completed) {
+		// The host blocked until the action completed; its thread
+		// resumes no earlier than that.
+		se.rt.mu.Lock()
+		if se.hostTime < a.end {
+			se.hostTime = a.end
+		}
+		se.rt.mu.Unlock()
+		return
+	}
+	if !a.Completed() {
+		panic(fmt.Sprintf("core: deadlock waiting for action %d (%s) in %s", a.id, a.kind, a.stream.name))
+	}
+}
+
+func (se *simExec) now() time.Duration { return se.eng.Now() }
+
+func (se *simExec) fini() { se.eng.Drain() }
+
+// LinkBusy reports accumulated DMA busy time for a card domain
+// direction (0: to sink, 1: to source); used by harness statistics.
+func (se *simExec) LinkBusy(domainIndex, dir int) time.Duration {
+	if se.links[domainIndex][dir] == nil {
+		return 0
+	}
+	return se.links[domainIndex][dir].Busy()
+}
+
+// SimLinkBusy exposes Sim-mode DMA occupancy for harness statistics;
+// it returns zero in Real mode.
+func (rt *Runtime) SimLinkBusy(domainIndex, dir int) time.Duration {
+	if se, ok := rt.exec.(*simExec); ok {
+		return se.LinkBusy(domainIndex, dir)
+	}
+	return 0
+}

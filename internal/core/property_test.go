@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hstreams/internal/floatbits"
+	"hstreams/internal/platform"
+)
+
+// TestFIFOSemanticEquivalence is the core correctness property of the
+// library (paper §II): actions may execute and complete out of order,
+// but the observable result must equal that of sequential in-order
+// execution. We drive random programs of non-commutative tile updates
+// through real streams — a host-as-target stream and a card stream,
+// with per-tile transfers and cross-stream event waits exactly as the
+// paper prescribes for dependences that leave a stream — and compare
+// against a sequential reference interpreter.
+func TestFIFOSemanticEquivalence(t *testing.T) {
+	const (
+		tiles   = 8
+		tileLen = 16
+		nOps    = 50
+	)
+	rounds := 10
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		round := round
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(round)))
+
+			// Random program: affine tile updates (x = m·x + c do not
+			// commute across different (m, c)).
+			type step struct {
+				tile   int
+				m, c   int64
+				stream int // 0 host, 1 card
+			}
+			var prog []step
+			for i := 0; i < nOps; i++ {
+				prog = append(prog, step{
+					tile:   rng.Intn(tiles),
+					m:      int64(rng.Intn(3) + 1),
+					c:      int64(rng.Intn(5)),
+					stream: rng.Intn(2),
+				})
+			}
+
+			// Sequential reference.
+			ref := make([]float64, tiles*tileLen)
+			for i := range ref {
+				ref[i] = float64(i % 7)
+			}
+			for _, s := range prog {
+				lo := s.tile * tileLen
+				for i := lo; i < lo+tileLen; i++ {
+					ref[i] = ref[i]*float64(s.m) + float64(s.c)
+				}
+			}
+
+			// Streamed execution.
+			rt, err := Init(Config{Machine: platform.HSWPlusKNC(1), Mode: ModeReal})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Fini()
+			rt.RegisterKernel("affine", func(ctx *KernelCtx) {
+				v := floatbits.Float64s(ctx.Ops[0])
+				m, c := float64(ctx.Args[0]), float64(ctx.Args[1])
+				for i := range v {
+					v[i] = v[i]*m + c
+				}
+			})
+			buf, host, err := rt.AllocFloat64("tiles", tiles*tileLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range host {
+				host[i] = float64(i % 7)
+			}
+			hostStream, err := rt.StreamCreate(rt.Host(), 0, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cardStream, err := rt.StreamCreate(rt.Card(0), 0, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streams := [2]*Stream{hostStream, cardStream}
+
+			// Per-tile bookkeeping: the action that last touched the
+			// tile and the stream it ran in. The FIFO semantic orders
+			// hazards within a stream; switching streams needs an
+			// explicit event wait, and switching domains additionally
+			// needs the tile moved (the paper's recipe, §II).
+			type touch struct {
+				act *Action
+				s   *Stream
+			}
+			last := make([]touch, tiles)
+			tileOff := func(tl int) (int64, int64) { return int64(tl * tileLen * 8), int64(tileLen * 8) }
+
+			for _, st := range prog {
+				s := streams[st.stream]
+				lt := last[st.tile]
+				off, ln := tileOff(st.tile)
+				if lt.act != nil && lt.s != s {
+					if _, err := s.EnqueueEventWait(lt.act); err != nil {
+						t.Fatal(err)
+					}
+				}
+				switchingDomain := lt.act == nil && !s.Domain().IsHost() || lt.act != nil && lt.s.Domain() != s.Domain()
+				if switchingDomain {
+					if s.Domain().IsHost() {
+						// Fresh data is on the card; pull it to the
+						// source via the card stream (FIFO orders the
+						// pull after the card's last write), then make
+						// this stream wait for the pull.
+						pull, err := cardStream.EnqueueXfer(buf, off, ln, ToSource)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if _, err := s.EnqueueEventWait(pull); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						// Fresh data is at the source; push it to the
+						// card in this stream (overlap orders the
+						// compute after it automatically).
+						if _, err := s.EnqueueXfer(buf, off, ln, ToSink); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				a, err := s.EnqueueCompute("affine", []int64{st.m, st.c},
+					[]Operand{{Buf: buf, Off: off, Len: ln, Acc: InOut}}, platform.Cost{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				last[st.tile] = touch{a, s}
+			}
+			// Pull card-resident tiles home.
+			for tl := 0; tl < tiles; tl++ {
+				if last[tl].act != nil && !last[tl].s.Domain().IsHost() {
+					off, ln := tileOff(tl)
+					if _, err := cardStream.EnqueueXfer(buf, off, ln, ToSource); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			rt.ThreadSynchronize()
+			if err := rt.Err(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if host[i] != ref[i] {
+					t.Fatalf("round %d: host[%d] = %v, want %v (tile %d)", round, i, host[i], ref[i], i/tileLen)
+				}
+			}
+		})
+	}
+}
+
+// TestDependenceSoundness checks with testing/quick-style randomness
+// that the dependence computation never lets two hazardous actions
+// run concurrently in Sim mode: for every pair of actions in a stream
+// with overlapping operands (≥1 writer), the later one must start at
+// or after the earlier one ends.
+func TestDependenceSoundness(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rt, err := Init(Config{Machine: platform.HSWPlusKNC(1), Mode: ModeSim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := rt.StreamCreate(rt.Card(0), 0, 61)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := rt.Alloc1D("b", 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type rec struct {
+			a  *Action
+			op Operand
+		}
+		var acts []rec
+		for i := 0; i < 40; i++ {
+			off := int64(rng.Intn(1 << 19))
+			ln := int64(rng.Intn(1<<18) + 1)
+			acc := Access(rng.Intn(3))
+			op := Operand{Buf: buf, Off: off, Len: ln, Acc: acc}
+			var a *Action
+			if rng.Intn(3) == 0 {
+				dir := ToSink
+				if acc == In {
+					dir = ToSource
+				} else {
+					op.Acc = Out
+				}
+				a, err = s.EnqueueXfer(buf, off, ln, dir)
+				op.Acc = Out
+				if dir == ToSource {
+					op.Acc = In
+				}
+			} else {
+				a, err = s.EnqueueCompute("k", nil, []Operand{op},
+					platform.Cost{Kernel: platform.KDGEMM, Flops: float64(rng.Intn(1e8) + 1e6), N: 500})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			acts = append(acts, rec{a, op})
+		}
+		rt.ThreadSynchronize()
+		for i := 0; i < len(acts); i++ {
+			for j := i + 1; j < len(acts); j++ {
+				if acts[i].op.hazardWith(acts[j].op) {
+					_, endI := acts[i].a.Times()
+					startJ, _ := acts[j].a.Times()
+					if startJ < endI {
+						t.Fatalf("seed %d: hazardous actions %d,%d overlapped: j starts %v before i ends %v",
+							seed, i, j, startJ, endI)
+					}
+				}
+			}
+		}
+		rt.Fini()
+	}
+}

@@ -1,0 +1,381 @@
+// Package core implements the hStreams library: a FIFO streaming,
+// task-queue abstraction for heterogeneous platforms (paper §II).
+//
+// The three building blocks are:
+//
+//   - Domains: sets of computing resources sharing coherent memory
+//     (the host, each coprocessor card). See Runtime.Domains.
+//   - Streams: task queues with a source endpoint (the enqueuing
+//     host thread) and a sink endpoint (a domain plus a core range).
+//     Compute, transfer and synchronization actions are enqueued into
+//     streams. Actions may execute and complete out of order as long
+//     as the sequential FIFO semantic is preserved: two actions in a
+//     stream are ordered only when their memory operands overlap with
+//     at least one writer, or when a synchronization action separates
+//     them. This is the semantic difference from CUDA Streams, whose
+//     queues are strictly FIFO.
+//   - Buffers: memory in a unified source proxy address space,
+//     instantiated per domain; operand addresses are translated from
+//     proxy space to the sink instance of the stream's domain.
+//
+// Two execution modes share the same dependence semantics:
+//
+//   - ModeReal executes kernels and transfers for real, with the
+//     layering of the paper (hStreams → COI → fabric) as the actual
+//     code path to card domains.
+//   - ModeSim schedules the identical action graph on a virtual clock
+//     with durations from the platform cost model, which is how the
+//     paper-scale experiments are reproduced.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hstreams/internal/coi"
+	"hstreams/internal/fabric"
+	"hstreams/internal/platform"
+	"hstreams/internal/trace"
+)
+
+// Common errors.
+var (
+	ErrFinalized     = errors.New("core: runtime finalized")
+	ErrBadOperand    = errors.New("core: operand outside buffer")
+	ErrBadStream     = errors.New("core: invalid stream configuration")
+	ErrNoKernel      = errors.New("core: kernel not registered")
+	ErrSimNoData     = errors.New("core: buffers have no backing data in Sim mode")
+	ErrWrongRuntime  = errors.New("core: object belongs to a different runtime")
+	ErrEmptyMachine  = errors.New("core: machine must have a host domain")
+	ErrBadBufferSize = errors.New("core: buffer size must be positive")
+)
+
+// Mode selects the execution back end.
+type Mode int
+
+const (
+	// ModeReal runs kernels and transfers for real.
+	ModeReal Mode = iota
+	// ModeSim schedules on a virtual clock using the cost model.
+	ModeSim
+)
+
+// Config configures Init.
+type Config struct {
+	// Machine is the platform to run on. Required.
+	Machine *platform.Machine
+	// Mode selects real or simulated execution.
+	Mode Mode
+	// SourceOverhead is the modeled per-enqueue cost on the source
+	// thread (Sim mode only). Zero means free enqueues.
+	SourceOverhead time.Duration
+	// DisableBufferPool turns off COI's 2 MB sink buffer pool,
+	// reproducing the allocation overheads the paper observed in the
+	// OmpSs configuration (Real mode only).
+	DisableBufferPool bool
+	// AsyncAlloc makes sink-side buffer instantiation asynchronous.
+	// The paper's overhead analysis found synchronous MIC-side
+	// allocation to be a bottleneck and announced this feature as
+	// forthcoming (§VII); here it is implemented. With it off
+	// (the paper's state), every Alloc1D blocks the source thread
+	// for the sink allocation cost per card.
+	AsyncAlloc bool
+}
+
+// Kernel is a sink-side compute entry point. Operand slices arrive in
+// the order they were passed to EnqueueCompute, resolved against the
+// executing domain's buffer instances.
+type Kernel func(ctx *KernelCtx)
+
+// KernelCtx carries a kernel invocation's inputs.
+type KernelCtx struct {
+	// Args are the scalar arguments from EnqueueCompute.
+	Args []int64
+	// Ops are the operand byte ranges, one per Operand.
+	Ops [][]byte
+	// Threads is the number of hardware threads granted to this
+	// invocation (the stream's width); kernels that parallelize
+	// internally should size themselves to it.
+	Threads int
+}
+
+// Runtime is an initialized hStreams library instance.
+type Runtime struct {
+	cfg     Config
+	machine *platform.Machine
+	domains []*Domain
+	rec     *trace.Recorder
+
+	mu          sync.Mutex
+	nextID      uint64
+	nextProxy   uint64
+	streams     []*Stream
+	bufs        []*Buf
+	outstanding int
+	kernels     map[string]Kernel
+	kernelIDs   map[string]int64
+	kernelList  []Kernel
+	firstErr    error
+	finalized   bool
+
+	exec executor
+
+	// Real-mode plumbing.
+	fab   *fabric.Fabric
+	nodes []*fabric.Node
+	procs []*coi.Process
+}
+
+// executor is the back end contract shared by real and simulated
+// execution. launch is called exactly once per action, after its
+// dependences resolve; the executor must eventually call
+// Runtime.finish. waitAction blocks the host until the action is done
+// (pumping the virtual clock in Sim mode).
+type executor interface {
+	launch(a *Action)
+	waitAction(a *Action)
+	now() time.Duration
+	fini()
+}
+
+// Init brings up the library on the given machine, enumerating its
+// domains and (in Real mode) starting a COI process on every card.
+func Init(cfg Config) (*Runtime, error) {
+	if cfg.Machine == nil || cfg.Machine.Host == nil {
+		return nil, ErrEmptyMachine
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		machine:   cfg.Machine,
+		rec:       trace.New(),
+		kernels:   make(map[string]Kernel),
+		kernelIDs: make(map[string]int64),
+	}
+	for i, spec := range cfg.Machine.Domains() {
+		rt.domains = append(rt.domains, &Domain{rt: rt, index: i, spec: spec})
+	}
+	switch cfg.Mode {
+	case ModeSim:
+		rt.exec = newSimExec(rt)
+	case ModeReal:
+		if err := rt.initPlumbing(); err != nil {
+			return nil, err
+		}
+		rt.exec = newRealExec(rt)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+	}
+	return rt, nil
+}
+
+// initPlumbing builds the fabric and one COI process per card.
+func (rt *Runtime) initPlumbing() error {
+	rt.fab = fabric.New()
+	rt.nodes = make([]*fabric.Node, len(rt.domains))
+	rt.procs = make([]*coi.Process, len(rt.domains))
+	for i, d := range rt.domains {
+		rt.nodes[i] = rt.fab.AddNode(d.spec.Name)
+	}
+	for i := 1; i < len(rt.domains); i++ {
+		if _, err := rt.fab.Connect(rt.nodes[0], rt.nodes[i], rt.machine.LinkFor(i-1)); err != nil {
+			return err
+		}
+		p, err := coi.CreateProcess(rt.fab, rt.nodes[0], rt.nodes[i], coi.Options{PoolBuffers: !rt.cfg.DisableBufferPool})
+		if err != nil {
+			return err
+		}
+		p.RegisterFunction(trampolineName, rt.trampoline)
+		rt.procs[i] = p
+	}
+	return nil
+}
+
+// Fini synchronizes all outstanding work and shuts the library down.
+func (rt *Runtime) Fini() {
+	rt.ThreadSynchronize()
+	rt.mu.Lock()
+	if rt.finalized {
+		rt.mu.Unlock()
+		return
+	}
+	rt.finalized = true
+	procs := rt.procs
+	rt.mu.Unlock()
+	rt.exec.fini()
+	for _, p := range procs {
+		if p != nil {
+			p.Destroy()
+		}
+	}
+}
+
+// Machine returns the platform the runtime was initialized on.
+func (rt *Runtime) Machine() *platform.Machine { return rt.machine }
+
+// Mode returns the execution mode.
+func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
+
+// Trace returns the runtime's timeline recorder.
+func (rt *Runtime) Trace() *trace.Recorder { return rt.rec }
+
+// Now returns the current time on the executor's clock — wall time
+// since Init in Real mode, virtual time in Sim mode.
+func (rt *Runtime) Now() time.Duration { return rt.exec.now() }
+
+// Err returns the first error any action produced.
+func (rt *Runtime) Err() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.firstErr
+}
+
+// Domain is a physical domain enumerated by the runtime. Domain 0 is
+// always the host.
+type Domain struct {
+	rt    *Runtime
+	index int
+	spec  *platform.DomainSpec
+}
+
+// Index returns the domain's position in discovery order.
+func (d *Domain) Index() int { return d.index }
+
+// Spec returns the domain's hardware description.
+func (d *Domain) Spec() *platform.DomainSpec { return d.spec }
+
+// IsHost reports whether this is the host domain.
+func (d *Domain) IsHost() bool { return d.index == 0 }
+
+func (d *Domain) String() string { return fmt.Sprintf("domain%d(%s)", d.index, d.spec.Name) }
+
+// Domains enumerates all physical domains, host first.
+func (rt *Runtime) Domains() []*Domain { return append([]*Domain(nil), rt.domains...) }
+
+// Host returns the host domain.
+func (rt *Runtime) Host() *Domain { return rt.domains[0] }
+
+// NumCards returns the number of non-host domains.
+func (rt *Runtime) NumCards() int { return len(rt.domains) - 1 }
+
+// Card returns the i-th card domain (0-based).
+func (rt *Runtime) Card(i int) *Domain { return rt.domains[i+1] }
+
+// RegisterKernel makes fn invocable by name from compute actions in
+// any domain (the name plays the role of the sink-side symbol that
+// hStreams looks up). Registering an existing name replaces it.
+func (rt *Runtime) RegisterKernel(name string, fn Kernel) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if id, ok := rt.kernelIDs[name]; ok {
+		rt.kernelList[id] = fn
+	} else {
+		rt.kernelIDs[name] = int64(len(rt.kernelList))
+		rt.kernelList = append(rt.kernelList, fn)
+	}
+	rt.kernels[name] = fn
+}
+
+func (rt *Runtime) kernelByName(name string) (Kernel, int64, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	id, ok := rt.kernelIDs[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return rt.kernelList[id], id, true
+}
+
+func (rt *Runtime) kernelByID(id int64) Kernel {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if id < 0 || id >= int64(len(rt.kernelList)) {
+		return nil
+	}
+	return rt.kernelList[id]
+}
+
+// ThreadSynchronize blocks the host until every enqueued action in
+// every stream has completed (hStreams_ThreadSynchronize).
+func (rt *Runtime) ThreadSynchronize() {
+	for {
+		rt.mu.Lock()
+		var pending *Action
+		for _, s := range rt.streams {
+			if len(s.inflight) > 0 {
+				pending = s.inflight[0]
+				break
+			}
+		}
+		rt.mu.Unlock()
+		if pending == nil {
+			return
+		}
+		rt.exec.waitAction(pending)
+	}
+}
+
+// EventWait blocks the host until the given events complete — all of
+// them when all is true, at least one otherwise
+// (hStreams_EventWait).
+func (rt *Runtime) EventWait(evs []*Action, all bool) {
+	if len(evs) == 0 {
+		return
+	}
+	if all {
+		for _, ev := range evs {
+			rt.exec.waitAction(ev)
+		}
+		return
+	}
+	// Wait for any. In Sim mode the executor pumps the clock; in
+	// Real mode we wait on a merged channel.
+	if rt.cfg.Mode == ModeSim {
+		se := rt.exec.(*simExec)
+		se.eng.RunUntil(func() bool {
+			for _, ev := range evs {
+				if ev.Completed() {
+					return true
+				}
+			}
+			return false
+		})
+		return
+	}
+	any := make(chan struct{})
+	var once sync.Once
+	for _, ev := range evs {
+		go func(ev *Action) {
+			<-ev.done
+			once.Do(func() { close(any) })
+		}(ev)
+	}
+	<-any
+}
+
+// ChargeSource accounts d of work on the source (host) thread in Sim
+// mode — layers above hStreams (e.g. a task-dataflow runtime doing
+// dynamic dependence analysis and scheduling) use it to model their
+// own per-task costs, which is how the paper's OmpSs overhead
+// (15–50 % at mid sizes, §III) is reproduced. No-op in Real mode.
+func (rt *Runtime) ChargeSource(d time.Duration) {
+	if rt.cfg.Mode != ModeSim || d <= 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.exec.(*simExec).hostTime += d
+	rt.mu.Unlock()
+}
+
+// setErr records the first action error.
+func (rt *Runtime) setErr(err error) {
+	if err == nil {
+		return
+	}
+	rt.mu.Lock()
+	if rt.firstErr == nil {
+		rt.firstErr = err
+	}
+	rt.mu.Unlock()
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"hstreams/internal/coi"
+	"hstreams/internal/platform"
+	"hstreams/internal/timesim"
+)
+
+// Stream is a task queue with a source endpoint (the host thread that
+// enqueues) and a sink endpoint (a core range of one domain, where
+// actions execute). Streams on the host domain are "host-as-target"
+// streams: their sink aliases the source instances, so transfers are
+// optimized away.
+type Stream struct {
+	rt        *Runtime
+	id        int
+	name      string
+	domain    *Domain
+	firstCore int
+	nCores    int
+
+	// inflight holds enqueued-but-incomplete actions in program
+	// order; guarded by rt.mu.
+	inflight []*Action
+	// destroyed rejects further enqueues; guarded by rt.mu.
+	destroyed bool
+
+	// Real-mode execution state. computeMu may be shared with other
+	// streams mapped onto the same resources (see StreamCreateOn).
+	computeMu *sync.Mutex
+	pipeline  *coi.Pipeline
+
+	// Sim-mode execution state; may be shared (see StreamCreateOn).
+	slot *timesim.Resource
+}
+
+// StreamCreate binds a new stream's sink to cores
+// [firstCore, firstCore+nCores) of domain d
+// (hStreams_StreamCreate). Overlapping core ranges between streams
+// are permitted — the paper lets tuners map multiple streams onto
+// common resources.
+func (rt *Runtime) StreamCreate(d *Domain, firstCore, nCores int) (*Stream, error) {
+	return rt.StreamCreateOn(d, firstCore, nCores, nil)
+}
+
+// StreamCreateOn is StreamCreate with explicit resource sharing: when
+// share is non-nil (and bound to the same domain), the new stream
+// executes its computes on the same physical resources as share, so
+// computes of the two streams contend instead of running in parallel.
+// This is how tuners "map multiple streams onto a common set of
+// resources" (§II), and how the CUDA-comparison model expresses
+// streams that share one device-wide scheduler.
+func (rt *Runtime) StreamCreateOn(d *Domain, firstCore, nCores int, share *Stream) (*Stream, error) {
+	if d == nil || d.rt != rt {
+		return nil, ErrWrongRuntime
+	}
+	if share != nil && share.domain != d {
+		return nil, ErrBadStream
+	}
+	if nCores < 1 || firstCore < 0 || firstCore+nCores > d.spec.Cores() {
+		return nil, fmt.Errorf("%w: cores [%d,%d) on %s with %d cores",
+			ErrBadStream, firstCore, firstCore+nCores, d.spec.Name, d.spec.Cores())
+	}
+	rt.mu.Lock()
+	if rt.finalized {
+		rt.mu.Unlock()
+		return nil, ErrFinalized
+	}
+	s := &Stream{
+		rt:        rt,
+		id:        len(rt.streams),
+		domain:    d,
+		firstCore: firstCore,
+		nCores:    nCores,
+	}
+	s.name = fmt.Sprintf("%s.s%d", d.spec.Name, s.id)
+	rt.streams = append(rt.streams, s)
+	rt.mu.Unlock()
+
+	switch rt.cfg.Mode {
+	case ModeSim:
+		if share != nil {
+			s.slot = share.slot
+		} else {
+			s.slot = timesim.NewResource(s.name)
+		}
+	case ModeReal:
+		if share != nil {
+			s.computeMu = share.computeMu
+		} else {
+			s.computeMu = new(sync.Mutex)
+		}
+		if !d.IsHost() {
+			pl, err := rt.procs[d.index].CreatePipeline()
+			if err != nil {
+				return nil, err
+			}
+			s.pipeline = pl
+		}
+	}
+	return s, nil
+}
+
+// ID returns the stream's integer handle — hStreams represents
+// streams by plain integers, unlike CUDA's opaque pointers (§IV).
+func (s *Stream) ID() int { return s.id }
+
+// Name returns the stream's trace name.
+func (s *Stream) Name() string { return s.name }
+
+// Domain returns the domain the sink is bound to.
+func (s *Stream) Domain() *Domain { return s.domain }
+
+// Width returns the number of cores granted to the sink.
+func (s *Stream) Width() int { return s.nCores }
+
+// EnqueueCompute enqueues a kernel invocation
+// (hStreams_EnqueueCompute). The kernel is looked up by name at the
+// sink; args are scalar arguments; ops declare the memory operands
+// that drive dependence analysis; cost informs the Sim-mode duration
+// model (ignored in Real mode). The returned action is also the
+// completion event.
+func (s *Stream) EnqueueCompute(kernel string, args []int64, ops []Operand, cost platform.Cost) (*Action, error) {
+	return s.EnqueueComputeDeps(kernel, args, ops, cost, nil)
+}
+
+// EnqueueComputeDeps is EnqueueCompute with additional explicit
+// dependences on events from other streams. Unlike a preceding
+// EnqueueEventWait (which bars the whole stream), only this action
+// waits: later independent actions in the stream may still overtake
+// it — the fine-grained cross-stream synchronization that layered
+// runtimes (OmpSs) rely on (§IV: "dependencies are based on a
+// data-flow approach").
+func (s *Stream) EnqueueComputeDeps(kernel string, args []int64, ops []Operand, cost platform.Cost, deps []*Action) (*Action, error) {
+	a := &Action{
+		kind:   ActCompute,
+		stream: s,
+		label:  kernel,
+		kernel: kernel,
+		args:   args,
+		ops:    ops,
+		cost:   cost,
+	}
+	if s.rt.cfg.Mode == ModeReal {
+		fn, id, ok := s.rt.kernelByName(kernel)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoKernel, kernel)
+		}
+		a.kernelFn, a.kernelID = fn, id
+	}
+	return s.rt.enqueue(a, deps)
+}
+
+// XferDir selects a transfer direction relative to the stream's sink.
+type XferDir int
+
+const (
+	// ToSink moves source-instance bytes to the sink instance
+	// (hStreams_app_xfer_memory HSTR_SRC_TO_SINK).
+	ToSink XferDir = iota
+	// ToSource moves sink-instance bytes back to the source.
+	ToSource
+)
+
+// EnqueueXfer enqueues a transfer of b[off:off+n] in the given
+// direction. On host-as-target streams the instances alias, so the
+// action costs nothing but still participates in dependence order.
+func (s *Stream) EnqueueXfer(b *Buf, off, n int64, dir XferDir) (*Action, error) {
+	return s.EnqueueXferDeps(b, off, n, dir, nil)
+}
+
+// EnqueueXferDeps is EnqueueXfer with additional explicit dependences
+// (see EnqueueComputeDeps).
+func (s *Stream) EnqueueXferDeps(b *Buf, off, n int64, dir XferDir, deps []*Action) (*Action, error) {
+	acc := Out
+	kind := ActXferToSink
+	if dir == ToSource {
+		acc = In
+		kind = ActXferToSrc
+	}
+	a := &Action{
+		kind:   kind,
+		stream: s,
+		label:  fmt.Sprintf("%s %s", kind, b.name),
+		ops:    []Operand{{Buf: b, Off: off, Len: n, Acc: acc}},
+		bytes:  n,
+	}
+	return s.rt.enqueue(a, deps)
+}
+
+// EnqueueXferAll transfers the whole buffer.
+func (s *Stream) EnqueueXferAll(b *Buf, dir XferDir) (*Action, error) {
+	return s.EnqueueXfer(b, 0, b.size, dir)
+}
+
+// EnqueueMarker enqueues a synchronization marker that orders against
+// every earlier and later action in the stream and completes when all
+// its predecessors have (hStreams_EnqueueMarker).
+func (s *Stream) EnqueueMarker() (*Action, error) {
+	a := &Action{kind: ActSync, stream: s, label: "marker"}
+	return s.rt.enqueue(a, nil)
+}
+
+// EnqueueEventWait enqueues a marker that additionally waits for the
+// given events from other streams — the cross-stream synchronization
+// primitive (hStreams_EnqueueEventWait).
+func (s *Stream) EnqueueEventWait(evs ...*Action) (*Action, error) {
+	a := &Action{kind: ActSync, stream: s, label: "event-wait"}
+	return s.rt.enqueue(a, evs)
+}
+
+// Destroy drains the stream and rejects further enqueues
+// (hStreams_StreamDestroy). The integer handle and the stream's past
+// events remain valid; only new work is refused. Destroy is
+// idempotent.
+func (s *Stream) Destroy() error {
+	s.rt.mu.Lock()
+	s.destroyed = true
+	s.rt.mu.Unlock()
+	return s.Synchronize()
+}
+
+// Synchronize blocks the host until every action previously enqueued
+// in this stream has completed (hStreams_StreamSynchronize).
+func (s *Stream) Synchronize() error {
+	for {
+		s.rt.mu.Lock()
+		var pending *Action
+		if len(s.inflight) > 0 {
+			pending = s.inflight[len(s.inflight)-1]
+		}
+		s.rt.mu.Unlock()
+		if pending == nil {
+			return s.rt.Err()
+		}
+		s.rt.exec.waitAction(pending)
+	}
+}

@@ -1,0 +1,336 @@
+// Package cudasim models the CUDA Streams programming interface the
+// paper compares hStreams against (§IV). The semantic differences it
+// reproduces are exactly the ones the paper calls out:
+//
+//   - Strict FIFO: operations in a CUDA stream execute in enqueue
+//     order — no out-of-order freedom from operand analysis. Overlap
+//     requires multiple streams plus explicit event synchronization.
+//   - Explicit events: event objects must be created, recorded and
+//     waited on; streams are opaque handles that must be created and
+//     destroyed (hStreams uses plain integers).
+//   - Per-device address spaces: device memory is allocated per
+//     device and the host must track a separate pointer per device
+//     (hStreams' host proxy address stands for all instances).
+//   - Kernels from different streams contend for one device-wide
+//     scheduler (streams share the device's cores).
+//
+// It is deliberately built on internal/core with every action
+// preceded by an in-stream barrier — demonstrating that CUDA stream
+// semantics are a restriction of hStreams semantics.
+package cudasim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hstreams/internal/apistat"
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+// Common errors.
+var (
+	ErrBadDevice     = errors.New("cudasim: invalid device ordinal")
+	ErrFreed         = errors.New("cudasim: use after free")
+	ErrNotRecorded   = errors.New("cudasim: event not recorded")
+	ErrWrongDevice   = errors.New("cudasim: pointer belongs to another device")
+	ErrHostSizeWrong = errors.New("cudasim: host slice length mismatch")
+)
+
+// APICost is the modeled driver-call latency charged on the source
+// thread per CUDA API call in Sim mode — explicit event and stream
+// management is not free, which is part of the overhead hStreams'
+// implicit dependences avoid (§IV).
+const APICost = 3 * time.Microsecond
+
+// CUDA is a driver context over the machine's card domains (CUDA has
+// no host-as-target concept, so the host domain is not a device).
+type CUDA struct {
+	RT  *core.Runtime
+	API apistat.Counter
+
+	devFirst []*core.Stream // first stream per device, owner of the shared slot
+	nstreams int
+}
+
+// api records one driver call and charges its latency.
+func (c *CUDA) api(name string) {
+	c.API.Hit(name)
+	c.RT.ChargeSource(APICost)
+}
+
+// Init brings up the driver model on machine. Mode selects real or
+// simulated execution, exactly as for hStreams.
+func Init(machine *platform.Machine, mode core.Mode) (*CUDA, error) {
+	rt, err := core.Init(core.Config{Machine: machine, Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	c := &CUDA{RT: rt, devFirst: make([]*core.Stream, rt.NumCards())}
+	c.api("cuInit")
+	return c, nil
+}
+
+// Fini tears the context down (cudaDeviceReset).
+func (c *CUDA) Fini() {
+	c.api("cudaDeviceReset")
+	c.RT.Fini()
+}
+
+// DeviceCount returns the number of devices.
+func (c *CUDA) DeviceCount() int {
+	c.api("cudaGetDeviceCount")
+	return c.RT.NumCards()
+}
+
+// Stream is an opaque CUDA stream handle.
+type Stream struct {
+	c    *CUDA
+	dev  int
+	s    *core.Stream
+	last *core.Action
+	dead bool
+}
+
+// StreamCreate creates a stream on the given device. All streams of a
+// device share its compute resources (one device-wide scheduler).
+func (c *CUDA) StreamCreate(dev int) (*Stream, error) {
+	c.api("cudaStreamCreate")
+	if dev < 0 || dev >= c.RT.NumCards() {
+		return nil, ErrBadDevice
+	}
+	d := c.RT.Card(dev)
+	s, err := c.RT.StreamCreateOn(d, 0, d.Spec().Cores(), c.devFirst[dev])
+	if err != nil {
+		return nil, err
+	}
+	if c.devFirst[dev] == nil {
+		c.devFirst[dev] = s
+	}
+	c.nstreams++
+	return &Stream{c: c, dev: dev, s: s}, nil
+}
+
+// StreamDestroy synchronizes and invalidates the stream.
+func (st *Stream) Destroy() error {
+	st.c.api("cudaStreamDestroy")
+	if st.dead {
+		return ErrFreed
+	}
+	if err := st.s.Synchronize(); err != nil {
+		return err
+	}
+	st.dead = true
+	return nil
+}
+
+// fifo enforces strict FIFO: every operation must wait for the
+// previous one in this stream, whatever their operands.
+func (st *Stream) fifo() error {
+	if st.dead {
+		return ErrFreed
+	}
+	if st.last != nil && !st.last.Completed() {
+		if _, err := st.s.EnqueueMarker(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Synchronize blocks the host until the stream drains
+// (cudaStreamSynchronize).
+func (st *Stream) Synchronize() error {
+	st.c.api("cudaStreamSynchronize")
+	if st.dead {
+		return ErrFreed
+	}
+	return st.s.Synchronize()
+}
+
+// Event is an opaque CUDA event.
+type Event struct {
+	c   *CUDA
+	act *core.Action
+}
+
+// EventCreate allocates an event object (required before use, unlike
+// hStreams where every action already is an event).
+func (c *CUDA) EventCreate() *Event {
+	c.api("cudaEventCreate")
+	return &Event{c: c}
+}
+
+// EventDestroy releases the event.
+func (e *Event) Destroy() {
+	e.c.api("cudaEventDestroy")
+	e.act = nil
+}
+
+// Record marks the event at the stream's current tail
+// (cudaEventRecord).
+func (st *Stream) Record(e *Event) error {
+	st.c.api("cudaEventRecord")
+	if err := st.fifo(); err != nil {
+		return err
+	}
+	a, err := st.s.EnqueueMarker()
+	if err != nil {
+		return err
+	}
+	st.last = a
+	e.act = a
+	return nil
+}
+
+// WaitEvent makes all subsequent work in the stream wait for the
+// event (cudaStreamWaitEvent).
+func (st *Stream) WaitEvent(e *Event) error {
+	st.c.api("cudaStreamWaitEvent")
+	if e.act == nil {
+		return ErrNotRecorded
+	}
+	if err := st.fifo(); err != nil {
+		return err
+	}
+	a, err := st.s.EnqueueEventWait(e.act)
+	if err != nil {
+		return err
+	}
+	st.last = a
+	return nil
+}
+
+// Synchronize blocks the host until the event fires
+// (cudaEventSynchronize).
+func (e *Event) Synchronize() error {
+	e.c.api("cudaEventSynchronize")
+	if e.act == nil {
+		return ErrNotRecorded
+	}
+	return e.act.Wait()
+}
+
+// DevPtr is a device allocation. Each device has its own address
+// space: a DevPtr is only usable on the device it was allocated on,
+// and multi-device codes must keep one pointer per device — the
+// bookkeeping burden the paper contrasts with hStreams' single proxy
+// address (§IV).
+type DevPtr struct {
+	c    *CUDA
+	dev  int
+	buf  *core.Buf
+	size int64
+	dead bool
+}
+
+// Malloc allocates size bytes on device dev (cudaMalloc).
+func (c *CUDA) Malloc(dev int, size int64) (*DevPtr, error) {
+	c.api("cudaMalloc")
+	if dev < 0 || dev >= c.RT.NumCards() {
+		return nil, ErrBadDevice
+	}
+	buf, err := c.RT.Alloc1D(fmt.Sprintf("cu.dev%d", dev), size)
+	if err != nil {
+		return nil, err
+	}
+	return &DevPtr{c: c, dev: dev, buf: buf, size: size}, nil
+}
+
+// Free releases the allocation (cudaFree).
+func (p *DevPtr) Free() {
+	p.c.api("cudaFree")
+	p.dead = true
+}
+
+// Size returns the allocation size in bytes.
+func (p *DevPtr) Size() int64 { return p.size }
+
+// HostStage exposes the host staging area paired with the device
+// allocation (the source the H2D copies read from); nil in Sim mode.
+func (p *DevPtr) HostStage() []byte { return p.buf.HostBytes() }
+
+func (st *Stream) checkPtr(p *DevPtr) error {
+	if p.dead {
+		return ErrFreed
+	}
+	if p.dev != st.dev {
+		return ErrWrongDevice
+	}
+	return nil
+}
+
+// MemcpyH2DAsync copies the staging range [off, off+n) to the device
+// in stream order (cudaMemcpyAsync host→device).
+func (st *Stream) MemcpyH2DAsync(p *DevPtr, off, n int64) (*core.Action, error) {
+	st.c.api("cudaMemcpyAsync")
+	if err := st.checkPtr(p); err != nil {
+		return nil, err
+	}
+	if err := st.fifo(); err != nil {
+		return nil, err
+	}
+	a, err := st.s.EnqueueXfer(p.buf, off, n, core.ToSink)
+	if err != nil {
+		return nil, err
+	}
+	st.last = a
+	return a, nil
+}
+
+// MemcpyD2HAsync copies device bytes back to the staging range in
+// stream order (cudaMemcpyAsync device→host).
+func (st *Stream) MemcpyD2HAsync(p *DevPtr, off, n int64) (*core.Action, error) {
+	st.c.api("cudaMemcpyAsync")
+	if err := st.checkPtr(p); err != nil {
+		return nil, err
+	}
+	if err := st.fifo(); err != nil {
+		return nil, err
+	}
+	a, err := st.s.EnqueueXfer(p.buf, off, n, core.ToSource)
+	if err != nil {
+		return nil, err
+	}
+	st.last = a
+	return a, nil
+}
+
+// Arg is one kernel argument: a device range.
+type Arg struct {
+	Ptr      *DevPtr
+	Off, Len int64
+}
+
+// Launch enqueues a kernel in stream order (<<<…>>> / cuLaunchKernel).
+// The kernel name resolves in the shared registry; scalar args and
+// device ranges arrive like hStreams operands, but declared access
+// modes are irrelevant: ordering is strict FIFO regardless.
+func (st *Stream) Launch(kernel string, scalars []int64, args []Arg, cost platform.Cost) (*core.Action, error) {
+	st.c.api("cuLaunchKernel")
+	ops := make([]core.Operand, 0, len(args))
+	for _, a := range args {
+		if err := st.checkPtr(a.Ptr); err != nil {
+			return nil, err
+		}
+		// Access mode is InOut for everything: CUDA has no operand
+		// dependence analysis, so nothing weaker is expressible.
+		ops = append(ops, a.Ptr.buf.Range(a.Off, a.Len, core.InOut))
+	}
+	if err := st.fifo(); err != nil {
+		return nil, err
+	}
+	a, err := st.s.EnqueueCompute(kernel, scalars, ops, cost)
+	if err != nil {
+		return nil, err
+	}
+	st.last = a
+	return a, nil
+}
+
+// DeviceSynchronize drains every stream (cudaDeviceSynchronize).
+func (c *CUDA) DeviceSynchronize() {
+	c.api("cudaDeviceSynchronize")
+	c.RT.ThreadSynchronize()
+}

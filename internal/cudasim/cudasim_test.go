@@ -1,0 +1,229 @@
+package cudasim
+
+import (
+	"testing"
+
+	"hstreams/internal/core"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/platform"
+)
+
+func newCUDA(t *testing.T, mode core.Mode, devices int) *CUDA {
+	t.Helper()
+	c, err := Init(platform.HSWPlusK40(devices), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Fini)
+	return c
+}
+
+func simCost(n int) platform.Cost {
+	return platform.Cost{Kernel: platform.KDGEMM, Flops: 2 * float64(n) * float64(n) * float64(n), N: n}
+}
+
+func TestRealKernelRoundTrip(t *testing.T) {
+	c := newCUDA(t, core.ModeReal, 1)
+	c.RT.RegisterKernel("scale", func(ctx *core.KernelCtx) {
+		v := floatbits.Float64s(ctx.Ops[0])
+		for i := range v {
+			v[i] *= float64(ctx.Args[0])
+		}
+	})
+	p, err := c.Malloc(0, 64*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := floatbits.Float64s(p.HostStage())
+	for i := range stage {
+		stage[i] = float64(i)
+	}
+	st, err := c.StreamCreate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.MemcpyH2DAsync(p, 0, p.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Launch("scale", []int64{2}, []Arg{{p, 0, p.Size()}}, platform.Cost{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.MemcpyD2HAsync(p, 0, p.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range stage {
+		if stage[i] != float64(2*i) {
+			t.Fatalf("stage[%d] = %v, want %v", i, stage[i], 2*i)
+		}
+	}
+}
+
+func TestStrictFIFOUnlikeHStreams(t *testing.T) {
+	// The defining difference (§IV): an independent transfer enqueued
+	// after a compute in the SAME CUDA stream may NOT overtake it —
+	// while in hStreams it does (see core's
+	// TestSimTransferOverlapsCompute).
+	c := newCUDA(t, core.ModeSim, 1)
+	a, _ := c.Malloc(0, 1<<20)
+	b, _ := c.Malloc(0, 1<<20)
+	st, _ := c.StreamCreate(0)
+	comp, err := st.Launch("k", nil, []Arg{{a, 0, a.Size()}}, simCost(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xfer, err := st.MemcpyH2DAsync(b, 0, b.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DeviceSynchronize()
+	_, compEnd := comp.Times()
+	xferStart, _ := xfer.Times()
+	if xferStart < compEnd {
+		t.Fatalf("CUDA stream reordered: independent transfer started %v before compute ended %v", xferStart, compEnd)
+	}
+}
+
+func TestTwoStreamsOverlapTransfersWithCompute(t *testing.T) {
+	// The CUDA way to get overlap: a second stream.
+	c := newCUDA(t, core.ModeSim, 1)
+	a, _ := c.Malloc(0, 1<<20)
+	b, _ := c.Malloc(0, 1<<20)
+	s1, _ := c.StreamCreate(0)
+	s2, _ := c.StreamCreate(0)
+	comp, _ := s1.Launch("k", nil, []Arg{{a, 0, a.Size()}}, simCost(2000))
+	xfer, _ := s2.MemcpyH2DAsync(b, 0, b.Size())
+	c.DeviceSynchronize()
+	_, compEnd := comp.Times()
+	xferStart, _ := xfer.Times()
+	if xferStart >= compEnd {
+		t.Fatal("cross-stream transfer failed to overlap compute")
+	}
+}
+
+func TestStreamsShareDeviceScheduler(t *testing.T) {
+	// Kernels from different streams of one device serialize on the
+	// device-wide scheduler.
+	c := newCUDA(t, core.ModeSim, 1)
+	a, _ := c.Malloc(0, 1<<20)
+	b, _ := c.Malloc(0, 1<<20)
+	s1, _ := c.StreamCreate(0)
+	s2, _ := c.StreamCreate(0)
+	k1, _ := s1.Launch("k", nil, []Arg{{a, 0, a.Size()}}, simCost(1500))
+	k2, _ := s2.Launch("k", nil, []Arg{{b, 0, b.Size()}}, simCost(1500))
+	c.DeviceSynchronize()
+	s1e, e1 := k1.Times()
+	s2s, e2 := k2.Times()
+	_ = s1e
+	if s2s < e1 && !(e2 <= s1e) {
+		t.Fatalf("kernels overlapped on one device: k1 ends %v, k2 starts %v", e1, s2s)
+	}
+}
+
+func TestEventsAcrossStreams(t *testing.T) {
+	c := newCUDA(t, core.ModeSim, 1)
+	a, _ := c.Malloc(0, 1<<20)
+	b, _ := c.Malloc(0, 1<<20)
+	s1, _ := c.StreamCreate(0)
+	s2, _ := c.StreamCreate(0)
+	k1, _ := s1.Launch("k", nil, []Arg{{a, 0, a.Size()}}, simCost(1500))
+	ev := c.EventCreate()
+	if err := s1.Record(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WaitEvent(ev); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := s2.MemcpyH2DAsync(b, 0, b.Size())
+	c.DeviceSynchronize()
+	_, e1 := k1.Times()
+	xs, _ := x.Times()
+	if xs < e1 {
+		t.Fatalf("WaitEvent ignored: transfer started %v before kernel end %v", xs, e1)
+	}
+	if err := ev.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	ev.Destroy()
+	if err := s2.WaitEvent(ev); err != ErrNotRecorded {
+		t.Fatalf("wait on destroyed event err = %v", err)
+	}
+}
+
+func TestUnrecordedEventRejected(t *testing.T) {
+	c := newCUDA(t, core.ModeSim, 1)
+	s, _ := c.StreamCreate(0)
+	ev := c.EventCreate()
+	if err := s.WaitEvent(ev); err != ErrNotRecorded {
+		t.Fatalf("err = %v, want ErrNotRecorded", err)
+	}
+	if err := ev.Synchronize(); err != ErrNotRecorded {
+		t.Fatalf("err = %v, want ErrNotRecorded", err)
+	}
+}
+
+func TestPerDeviceAddressSpaces(t *testing.T) {
+	c := newCUDA(t, core.ModeSim, 2)
+	if c.DeviceCount() != 2 {
+		t.Fatal("device count")
+	}
+	p0, err := c.Malloc(0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := c.StreamCreate(1)
+	// A device-0 pointer is unusable on device 1.
+	if _, err := s1.MemcpyH2DAsync(p0, 0, 1024); err != ErrWrongDevice {
+		t.Fatalf("cross-device use err = %v, want ErrWrongDevice", err)
+	}
+	if _, err := s1.Launch("k", nil, []Arg{{p0, 0, 1024}}, simCost(100)); err != ErrWrongDevice {
+		t.Fatalf("cross-device launch err = %v, want ErrWrongDevice", err)
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	c := newCUDA(t, core.ModeSim, 1)
+	p, _ := c.Malloc(0, 1024)
+	s, _ := c.StreamCreate(0)
+	p.Free()
+	if _, err := s.MemcpyH2DAsync(p, 0, 1024); err != ErrFreed {
+		t.Fatalf("err = %v, want ErrFreed", err)
+	}
+	if err := s.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MemcpyH2DAsync(p, 0, 1024); err != ErrFreed {
+		t.Fatalf("destroyed stream err = %v, want ErrFreed", err)
+	}
+	if err := s.Destroy(); err != ErrFreed {
+		t.Fatalf("double destroy err = %v, want ErrFreed", err)
+	}
+}
+
+func TestBadDeviceOrdinal(t *testing.T) {
+	c := newCUDA(t, core.ModeSim, 1)
+	if _, err := c.StreamCreate(5); err != ErrBadDevice {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Malloc(-1, 10); err != ErrBadDevice {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAPIAccounting(t *testing.T) {
+	c := newCUDA(t, core.ModeSim, 1)
+	p, _ := c.Malloc(0, 1024)
+	s, _ := c.StreamCreate(0)
+	_, _ = s.MemcpyH2DAsync(p, 0, 1024)
+	ev := c.EventCreate()
+	_ = s.Record(ev)
+	if c.API.Count("cudaMalloc") != 1 || c.API.Count("cudaStreamCreate") != 1 ||
+		c.API.Count("cudaMemcpyAsync") != 1 || c.API.Count("cudaEventCreate") != 1 {
+		t.Fatalf("API accounting wrong: %s", c.API.String())
+	}
+	if c.API.Unique() < 5 {
+		t.Fatalf("unique APIs = %d", c.API.Unique())
+	}
+}

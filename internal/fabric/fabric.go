@@ -1,0 +1,157 @@
+// Package fabric is the lowest plumbing layer of the stack, modeled
+// on SCIF (Symmetric Communications Interface), which abstracted the
+// PCIe hardware under COI in the paper's software stack (§III):
+//
+//	application → hStreams → COI → SCIF → PCIe
+//
+// It provides nodes (one per physical domain), connected endpoints,
+// small control messages, and DMA on registered memory windows. Data
+// movement is real (memcpy between the per-domain instances); the
+// PCIe timing is accounted through the platform.LinkSpec cost model so
+// higher layers can report modeled transfer durations in either
+// execution mode.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hstreams/internal/platform"
+)
+
+// Common errors.
+var (
+	ErrClosed       = errors.New("fabric: endpoint closed")
+	ErrOutOfRange   = errors.New("fabric: access outside registered window")
+	ErrUnknownNode  = errors.New("fabric: unknown node")
+	ErrSelfConnect  = errors.New("fabric: cannot connect a node to itself")
+	ErrNotConnected = errors.New("fabric: nodes not connected")
+)
+
+// Fabric is the interconnect: a set of nodes and the links between
+// them. The zero value is not usable; create one with New.
+type Fabric struct {
+	mu    sync.Mutex
+	nodes []*Node
+	links map[[2]int]*Link
+}
+
+// New returns an empty fabric.
+func New() *Fabric {
+	return &Fabric{links: make(map[[2]int]*Link)}
+}
+
+// AddNode registers a domain on the fabric and returns its node.
+func (f *Fabric) AddNode(name string) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := &Node{id: len(f.nodes), name: name, fabric: f}
+	f.nodes = append(f.nodes, n)
+	return n
+}
+
+// Nodes returns all registered nodes in id order.
+func (f *Fabric) Nodes() []*Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Node(nil), f.nodes...)
+}
+
+// Connect creates (or returns) the link between two nodes using spec.
+func (f *Fabric) Connect(a, b *Node, spec *platform.LinkSpec) (*Link, error) {
+	if a == b {
+		return nil, ErrSelfConnect
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := linkKey(a.id, b.id)
+	if l, ok := f.links[key]; ok {
+		return l, nil
+	}
+	l := &Link{spec: spec, a: a, b: b}
+	f.links[key] = l
+	return l, nil
+}
+
+// LinkBetween returns the link connecting two nodes.
+func (f *Fabric) LinkBetween(a, b *Node) (*Link, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if l, ok := f.links[linkKey(a.id, b.id)]; ok {
+		return l, nil
+	}
+	return nil, ErrNotConnected
+}
+
+func linkKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Node is a domain's attachment point to the fabric.
+type Node struct {
+	id     int
+	name   string
+	fabric *Fabric
+}
+
+// ID returns the node's fabric-wide id.
+func (n *Node) ID() int { return n.id }
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+func (n *Node) String() string { return fmt.Sprintf("node%d(%s)", n.id, n.name) }
+
+// Link is a full-duplex connection between two nodes. Transfer
+// statistics are kept per direction; direction 0 carries a→b traffic.
+type Link struct {
+	spec *platform.LinkSpec
+	a, b *Node
+
+	mu    sync.Mutex
+	stats [2]DirStats
+}
+
+// DirStats accumulates traffic accounting for one link direction.
+type DirStats struct {
+	Transfers int64
+	Bytes     int64
+	// ModeledTime is the total virtual time the cost model assigns to
+	// this direction's traffic.
+	ModeledTime time.Duration
+}
+
+// Spec returns the link's cost-model spec.
+func (l *Link) Spec() *platform.LinkSpec { return l.spec }
+
+// Stats returns accumulated statistics for the direction from 'from'.
+func (l *Link) Stats(from *Node) DirStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats[l.dir(from)]
+}
+
+func (l *Link) dir(from *Node) int {
+	if from == l.a {
+		return 0
+	}
+	return 1
+}
+
+// account records a transfer of n bytes leaving 'from' and returns
+// the modeled wire time.
+func (l *Link) account(from *Node, n int64) time.Duration {
+	d := l.spec.TransferTime(n)
+	l.mu.Lock()
+	s := &l.stats[l.dir(from)]
+	s.Transfers++
+	s.Bytes += n
+	s.ModeledTime += d
+	l.mu.Unlock()
+	return d
+}

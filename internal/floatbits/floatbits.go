@@ -1,0 +1,38 @@
+// Package floatbits provides zero-copy reinterpretation between byte
+// buffers (the currency of the fabric/COI transport layers) and
+// float64 slices (the currency of the compute kernels).
+//
+// The Go heap aligns every allocation of 8 bytes or more to at least
+// 8 bytes, so views over buffers produced by make([]byte, n) are
+// always aligned; the functions verify this and panic otherwise
+// rather than silently tearing loads.
+package floatbits
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Float64s views b as a []float64 without copying. len(b) must be a
+// multiple of 8 and the data must be 8-byte aligned.
+func Float64s(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b)%8 != 0 {
+		panic(fmt.Sprintf("floatbits: byte length %d not a multiple of 8", len(b)))
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%8 != 0 {
+		panic("floatbits: misaligned buffer")
+	}
+	return unsafe.Slice((*float64)(p), len(b)/8)
+}
+
+// Bytes views f as a []byte without copying.
+func Bytes(f []float64) []byte {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(f))), len(f)*8)
+}

@@ -1,0 +1,69 @@
+package floatbits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := []float64{1.5, -2.25, 3.125}
+	b := Bytes(f)
+	if len(b) != 24 {
+		t.Fatalf("len = %d, want 24", len(b))
+	}
+	g := Float64s(b)
+	for i := range f {
+		if g[i] != f[i] {
+			t.Fatalf("g[%d] = %v, want %v", i, g[i], f[i])
+		}
+	}
+	// The views alias: writing through one is visible in the other.
+	g[0] = 42
+	if f[0] != 42 {
+		t.Fatal("views do not alias")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if Float64s(nil) != nil || Bytes(nil) != nil {
+		t.Fatal("empty inputs must give nil")
+	}
+}
+
+func TestBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for odd length")
+		}
+	}()
+	Float64s(make([]byte, 7))
+}
+
+func TestHeapByteBuffersAreAligned(t *testing.T) {
+	// The property the package relies on: make([]byte, n≥8) is
+	// 8-aligned on the Go heap.
+	for _, n := range []int{8, 16, 24, 100, 1 << 20} {
+		b := make([]byte, n)
+		v := Float64s(b[:n/8*8])
+		v[0] = 1 // must not fault
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		g := Float64s(Bytes(vals))
+		if len(g) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaN != NaN, compare bit patterns via slices aliasing.
+			if g[i] != vals[i] && vals[i] == vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package hlib is a target-agnostic streaming API in the style of
+// Petrobras' HLIB and Simulia's internal layer (paper Fig. 1 and §V):
+// application code is written once against a small device-management
+// and streaming interface, and back ends map it onto CUDA Streams for
+// NVidia, OpenCL for AMD, or hStreams for MIC and host — "all the
+// device management needed is done with a high-level target-agnostic
+// API".
+//
+// This is the layering story of the paper from above: just as
+// hStreams encapsulates COI/SCIF below it, HLIB-style APIs encapsulate
+// the streaming model below them, and adding the hStreams back end is
+// what let those vendors reach MIC without changing application code.
+package hlib
+
+import (
+	"errors"
+
+	"hstreams/internal/core"
+	"hstreams/internal/cudasim"
+	"hstreams/internal/oclsim"
+	"hstreams/internal/platform"
+)
+
+// Common errors.
+var (
+	ErrBadDevice = errors.New("hlib: invalid device")
+	ErrForeign   = errors.New("hlib: buffer belongs to another backend")
+)
+
+// Access declares how a kernel touches a buffer range.
+type Access int
+
+const (
+	// In is read-only.
+	In Access = iota
+	// Out is write-only.
+	Out
+	// InOut is read-write.
+	InOut
+)
+
+// Buffer is a device-reachable allocation with a host staging view.
+type Buffer interface {
+	// Size returns the allocation size in bytes.
+	Size() int64
+	// HostBytes returns the host staging storage (nil in Sim mode).
+	HostBytes() []byte
+}
+
+// Event is an awaitable completion handle.
+type Event interface {
+	// Wait blocks until the operation completes.
+	Wait() error
+}
+
+// Range is a kernel operand: a byte range of a buffer.
+type Range struct {
+	Buf      Buffer
+	Off, Len int64
+	Acc      Access
+}
+
+// All covers the whole buffer.
+func All(b Buffer, acc Access) Range { return Range{Buf: b, Off: 0, Len: b.Size(), Acc: acc} }
+
+// Queue is an ordered-submission work queue on one device. Ordering
+// semantics are the back end's: strict FIFO for CUDA/OpenCL,
+// FIFO-semantic (out-of-order where operands allow) for hStreams.
+type Queue interface {
+	// Push moves staging bytes to the device.
+	Push(b Buffer, off, n int64) (Event, error)
+	// Pull moves device bytes back to staging.
+	Pull(b Buffer, off, n int64) (Event, error)
+	// Launch invokes a named kernel on the given ranges.
+	Launch(kernel string, args []int64, ranges []Range, cost platform.Cost) (Event, error)
+	// Sync drains the queue.
+	Sync() error
+}
+
+// Backend is one streaming target implementation.
+type Backend interface {
+	// Name identifies the back end ("hstreams", "cuda", "opencl").
+	Name() string
+	// Devices returns the number of compute devices.
+	Devices() int
+	// RegisterKernel installs a named kernel (shared Go registry, as
+	// with hStreams sink symbols).
+	RegisterKernel(name string, fn core.Kernel)
+	// Alloc creates a buffer reachable from device dev.
+	Alloc(dev int, size int64) (Buffer, error)
+	// CreateQueue opens a work queue on device dev.
+	CreateQueue(dev int) (Queue, error)
+	// Fini shuts the back end down.
+	Fini()
+}
+
+// ---- hStreams back end -------------------------------------------------
+
+type hsBackend struct {
+	rt     *core.Runtime
+	widths []int // next stream core offset per device
+}
+
+// NewHStreams opens the hStreams back end on the machine.
+func NewHStreams(machine *platform.Machine, mode core.Mode) (Backend, error) {
+	rt, err := core.Init(core.Config{Machine: machine, Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	return &hsBackend{rt: rt, widths: make([]int, rt.NumCards())}, nil
+}
+
+func (h *hsBackend) Name() string                               { return "hstreams" }
+func (h *hsBackend) Devices() int                               { return h.rt.NumCards() }
+func (h *hsBackend) Fini()                                      { h.rt.Fini() }
+func (h *hsBackend) RegisterKernel(name string, fn core.Kernel) { h.rt.RegisterKernel(name, fn) }
+
+type hsBuffer struct {
+	b *core.Buf
+}
+
+func (b hsBuffer) Size() int64       { return b.b.Size() }
+func (b hsBuffer) HostBytes() []byte { return b.b.HostBytes() }
+
+func (h *hsBackend) Alloc(dev int, size int64) (Buffer, error) {
+	if dev < 0 || dev >= h.rt.NumCards() {
+		return nil, ErrBadDevice
+	}
+	b, err := h.rt.Alloc1D("hlib", size)
+	if err != nil {
+		return nil, err
+	}
+	return hsBuffer{b}, nil
+}
+
+type hsQueue struct{ s *core.Stream }
+
+type hsEvent struct{ a *core.Action }
+
+func (e hsEvent) Wait() error { return e.a.Wait() }
+
+func (h *hsBackend) CreateQueue(dev int) (Queue, error) {
+	if dev < 0 || dev >= h.rt.NumCards() {
+		return nil, ErrBadDevice
+	}
+	d := h.rt.Card(dev)
+	// Queues partition the device: each new queue takes the next
+	// quarter of the cores (wrapping), the hStreams subdivision that
+	// CUDA cannot express (§IV).
+	w := d.Spec().Cores() / 4
+	if w < 1 {
+		w = 1
+	}
+	first := h.widths[dev] % d.Spec().Cores()
+	if first+w > d.Spec().Cores() {
+		first = 0
+	}
+	h.widths[dev] = first + w
+	s, err := h.rt.StreamCreate(d, first, w)
+	if err != nil {
+		return nil, err
+	}
+	return &hsQueue{s}, nil
+}
+
+func (q *hsQueue) Push(b Buffer, off, n int64) (Event, error) {
+	hb, ok := b.(hsBuffer)
+	if !ok {
+		return nil, ErrForeign
+	}
+	a, err := q.s.EnqueueXfer(hb.b, off, n, core.ToSink)
+	if err != nil {
+		return nil, err
+	}
+	return hsEvent{a}, nil
+}
+
+func (q *hsQueue) Pull(b Buffer, off, n int64) (Event, error) {
+	hb, ok := b.(hsBuffer)
+	if !ok {
+		return nil, ErrForeign
+	}
+	a, err := q.s.EnqueueXfer(hb.b, off, n, core.ToSource)
+	if err != nil {
+		return nil, err
+	}
+	return hsEvent{a}, nil
+}
+
+func (q *hsQueue) Launch(kernel string, args []int64, ranges []Range, cost platform.Cost) (Event, error) {
+	ops := make([]core.Operand, len(ranges))
+	for i, r := range ranges {
+		hb, ok := r.Buf.(hsBuffer)
+		if !ok {
+			return nil, ErrForeign
+		}
+		acc := core.InOut
+		switch r.Acc {
+		case In:
+			acc = core.In
+		case Out:
+			acc = core.Out
+		}
+		ops[i] = hb.b.Range(r.Off, r.Len, acc)
+	}
+	a, err := q.s.EnqueueCompute(kernel, args, ops, cost)
+	if err != nil {
+		return nil, err
+	}
+	return hsEvent{a}, nil
+}
+
+func (q *hsQueue) Sync() error { return q.s.Synchronize() }
+
+// ---- CUDA Streams back end ---------------------------------------------
+
+type cudaBackend struct{ cu *cudasim.CUDA }
+
+// NewCUDA opens the CUDA Streams back end on the machine.
+func NewCUDA(machine *platform.Machine, mode core.Mode) (Backend, error) {
+	cu, err := cudasim.Init(machine, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &cudaBackend{cu}, nil
+}
+
+func (c *cudaBackend) Name() string { return "cuda" }
+func (c *cudaBackend) Devices() int { return c.cu.RT.NumCards() }
+func (c *cudaBackend) Fini()        { c.cu.Fini() }
+func (c *cudaBackend) RegisterKernel(name string, fn core.Kernel) {
+	c.cu.RT.RegisterKernel(name, fn)
+}
+
+type cudaBuffer struct{ p *cudasim.DevPtr }
+
+func (b cudaBuffer) Size() int64       { return b.p.Size() }
+func (b cudaBuffer) HostBytes() []byte { return b.p.HostStage() }
+
+func (c *cudaBackend) Alloc(dev int, size int64) (Buffer, error) {
+	p, err := c.cu.Malloc(dev, size)
+	if err != nil {
+		return nil, err
+	}
+	return cudaBuffer{p}, nil
+}
+
+type cudaQueue struct{ st *cudasim.Stream }
+
+func (c *cudaBackend) CreateQueue(dev int) (Queue, error) {
+	st, err := c.cu.StreamCreate(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &cudaQueue{st}, nil
+}
+
+func (q *cudaQueue) Push(b Buffer, off, n int64) (Event, error) {
+	cb, ok := b.(cudaBuffer)
+	if !ok {
+		return nil, ErrForeign
+	}
+	a, err := q.st.MemcpyH2DAsync(cb.p, off, n)
+	if err != nil {
+		return nil, err
+	}
+	return hsEvent{a}, nil
+}
+
+func (q *cudaQueue) Pull(b Buffer, off, n int64) (Event, error) {
+	cb, ok := b.(cudaBuffer)
+	if !ok {
+		return nil, ErrForeign
+	}
+	a, err := q.st.MemcpyD2HAsync(cb.p, off, n)
+	if err != nil {
+		return nil, err
+	}
+	return hsEvent{a}, nil
+}
+
+func (q *cudaQueue) Launch(kernel string, args []int64, ranges []Range, cost platform.Cost) (Event, error) {
+	cargs := make([]cudasim.Arg, len(ranges))
+	for i, r := range ranges {
+		cb, ok := r.Buf.(cudaBuffer)
+		if !ok {
+			return nil, ErrForeign
+		}
+		cargs[i] = cudasim.Arg{Ptr: cb.p, Off: r.Off, Len: r.Len}
+	}
+	a, err := q.st.Launch(kernel, args, cargs, cost)
+	if err != nil {
+		return nil, err
+	}
+	return hsEvent{a}, nil
+}
+
+func (q *cudaQueue) Sync() error { return q.st.Synchronize() }
+
+// ---- OpenCL back end ----------------------------------------------------
+
+type oclBackend struct {
+	cl   *oclsim.CL
+	ctxs []*oclsim.Context
+	prog []*oclsim.Program
+}
+
+// NewOpenCL opens the OpenCL back end on the machine.
+func NewOpenCL(machine *platform.Machine, mode core.Mode) (Backend, error) {
+	cl, err := oclsim.GetPlatform(machine, mode)
+	if err != nil {
+		return nil, err
+	}
+	b := &oclBackend{cl: cl}
+	for d := 0; d < cl.GetDeviceIDs(); d++ {
+		ctx, err := cl.CreateContext(d)
+		if err != nil {
+			cl.Release()
+			return nil, err
+		}
+		prog := ctx.CreateProgramWithSource("/* hlib kernels */")
+		prog.Build()
+		b.ctxs = append(b.ctxs, ctx)
+		b.prog = append(b.prog, prog)
+	}
+	return b, nil
+}
+
+func (o *oclBackend) Name() string { return "opencl" }
+func (o *oclBackend) Devices() int { return len(o.ctxs) }
+func (o *oclBackend) Fini()        { o.cl.Release() }
+func (o *oclBackend) RegisterKernel(name string, fn core.Kernel) {
+	o.cl.RT.RegisterKernel(name, fn)
+}
+
+type oclBuffer struct {
+	b   *oclsim.Buffer
+	dev int
+}
+
+func (b oclBuffer) Size() int64       { return int64(len(b.b.HostStage())) }
+func (b oclBuffer) HostBytes() []byte { return b.b.HostStage() }
+
+func (o *oclBackend) Alloc(dev int, size int64) (Buffer, error) {
+	if dev < 0 || dev >= len(o.ctxs) {
+		return nil, ErrBadDevice
+	}
+	buf, err := o.ctxs[dev].CreateBuffer(size)
+	if err != nil {
+		return nil, err
+	}
+	return oclBuffer{buf, dev}, nil
+}
+
+type oclQueue struct {
+	o   *oclBackend
+	q   *oclsim.Queue
+	dev int
+}
+
+func (o *oclBackend) CreateQueue(dev int) (Queue, error) {
+	if dev < 0 || dev >= len(o.ctxs) {
+		return nil, ErrBadDevice
+	}
+	q, err := o.ctxs[dev].CreateCommandQueue()
+	if err != nil {
+		return nil, err
+	}
+	return &oclQueue{o, q, dev}, nil
+}
+
+func (q *oclQueue) Push(b Buffer, off, n int64) (Event, error) {
+	ob, ok := b.(oclBuffer)
+	if !ok {
+		return nil, ErrForeign
+	}
+	a, err := q.q.EnqueueWriteBuffer(ob.b, off, n)
+	if err != nil {
+		return nil, err
+	}
+	return hsEvent{a}, nil
+}
+
+func (q *oclQueue) Pull(b Buffer, off, n int64) (Event, error) {
+	ob, ok := b.(oclBuffer)
+	if !ok {
+		return nil, ErrForeign
+	}
+	a, err := q.q.EnqueueReadBuffer(ob.b, off, n)
+	if err != nil {
+		return nil, err
+	}
+	return hsEvent{a}, nil
+}
+
+// ErrSubRange reports a partial-buffer kernel operand on the OpenCL
+// back end, whose buffer objects bind whole (clSetKernelArg takes a
+// cl_mem, not a range); portable hlib code passes whole buffers.
+var ErrSubRange = errors.New("hlib: OpenCL backend requires whole-buffer ranges")
+
+func (q *oclQueue) Launch(kernel string, args []int64, ranges []Range, cost platform.Cost) (Event, error) {
+	k, err := q.o.prog[q.dev].CreateKernel(kernel)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, a := range args {
+		k.SetArgScalar(idx, a)
+		idx++
+	}
+	for _, r := range ranges {
+		ob, ok := r.Buf.(oclBuffer)
+		if !ok {
+			return nil, ErrForeign
+		}
+		if r.Off != 0 || r.Len != ob.Size() {
+			return nil, ErrSubRange
+		}
+		k.SetArgBuffer(idx, ob.b)
+		idx++
+	}
+	a, err := q.q.EnqueueNDRangeKernel(k, idx, cost)
+	if err != nil {
+		return nil, err
+	}
+	k.Release()
+	return hsEvent{a}, nil
+}
+
+func (q *oclQueue) Sync() error { return q.q.Finish() }

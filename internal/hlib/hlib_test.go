@@ -1,0 +1,211 @@
+package hlib
+
+import (
+	"testing"
+
+	"hstreams/internal/core"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/platform"
+)
+
+// backends instantiates all three back ends on comparable machines —
+// the paper's Fig. 1: the same target-agnostic code maps to hStreams
+// (MIC), CUDA Streams (NVidia) or OpenCL.
+func backends(t *testing.T, mode core.Mode) []Backend {
+	t.Helper()
+	hs, err := NewHStreams(platform.HSWPlusKNC(1), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := NewCUDA(platform.HSWPlusK40(1), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewOpenCL(platform.HSWPlusKNC(1), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := []Backend{hs, cu, cl}
+	t.Cleanup(func() {
+		for _, b := range bs {
+			b.Fini()
+		}
+	})
+	return bs
+}
+
+// program is the SAME application code for every back end: push two
+// vectors, run saxpy-style kernels, pull the result — written once
+// against the target-agnostic API.
+func program(b Backend, n int) ([]float64, error) {
+	b.RegisterKernel("hlib.axpy", func(ctx *core.KernelCtx) {
+		x := floatbits.Float64s(ctx.Ops[0])
+		y := floatbits.Float64s(ctx.Ops[1])
+		a := float64(ctx.Args[0])
+		for i := range y {
+			y[i] += a * x[i]
+		}
+	})
+	if b.Devices() < 1 {
+		return nil, ErrBadDevice
+	}
+	q, err := b.CreateQueue(0)
+	if err != nil {
+		return nil, err
+	}
+	x, err := b.Alloc(0, int64(n)*8)
+	if err != nil {
+		return nil, err
+	}
+	y, err := b.Alloc(0, int64(n)*8)
+	if err != nil {
+		return nil, err
+	}
+	xs := floatbits.Float64s(x.HostBytes())
+	ys := floatbits.Float64s(y.HostBytes())
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i)
+		ys[i] = 1
+	}
+	if _, err := q.Push(x, 0, x.Size()); err != nil {
+		return nil, err
+	}
+	if _, err := q.Push(y, 0, y.Size()); err != nil {
+		return nil, err
+	}
+	ev, err := q.Launch("hlib.axpy", []int64{3},
+		[]Range{All(x, In), All(y, InOut)}, platform.Cost{})
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.Wait(); err != nil {
+		return nil, err
+	}
+	if _, err := q.Pull(y, 0, y.Size()); err != nil {
+		return nil, err
+	}
+	if err := q.Sync(); err != nil {
+		return nil, err
+	}
+	return ys, nil
+}
+
+func TestSameCodeAllBackends(t *testing.T) {
+	const n = 1024
+	for _, b := range backends(t, core.ModeReal) {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			ys, err := program(b, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if want := 1 + 3*float64(i); ys[i] != want {
+					t.Fatalf("%s: y[%d] = %v, want %v", b.Name(), i, ys[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestBackendNamesAndDevices(t *testing.T) {
+	names := map[string]bool{}
+	for _, b := range backends(t, core.ModeSim) {
+		names[b.Name()] = true
+		if b.Devices() != 1 {
+			t.Errorf("%s: devices = %d, want 1", b.Name(), b.Devices())
+		}
+	}
+	for _, want := range []string{"hstreams", "cuda", "opencl"} {
+		if !names[want] {
+			t.Errorf("missing backend %q", want)
+		}
+	}
+}
+
+func TestForeignBufferRejected(t *testing.T) {
+	bs := backends(t, core.ModeSim)
+	hs, cu := bs[0], bs[1]
+	qh, err := hs.CreateQueue(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := cu.Alloc(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qh.Push(foreign, 0, 64); err != ErrForeign {
+		t.Fatalf("err = %v, want ErrForeign", err)
+	}
+	if _, err := qh.Launch("k", nil, []Range{All(foreign, In)}, platform.Cost{}); err != ErrForeign {
+		t.Fatalf("launch err = %v, want ErrForeign", err)
+	}
+}
+
+func TestOpenCLSubRangeRejected(t *testing.T) {
+	cl, err := NewOpenCL(platform.HSWPlusKNC(1), core.ModeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Fini()
+	q, err := cl.CreateQueue(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Alloc(0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Launch("k", nil, []Range{{Buf: b, Off: 0, Len: 512, Acc: In}}, platform.Cost{}); err != ErrSubRange {
+		t.Fatalf("err = %v, want ErrSubRange", err)
+	}
+}
+
+func TestBadDeviceOrdinals(t *testing.T) {
+	for _, b := range backends(t, core.ModeSim) {
+		if _, err := b.Alloc(9, 64); err == nil {
+			t.Errorf("%s: Alloc on bad device accepted", b.Name())
+		}
+		if _, err := b.CreateQueue(-1); err == nil {
+			t.Errorf("%s: CreateQueue on bad device accepted", b.Name())
+		}
+	}
+}
+
+// TestHStreamsBackendSubdivides shows the capability difference the
+// paper highlights (§IV): the hStreams back end carves queues out of
+// disjoint core sets of one device, so their computes genuinely
+// overlap; CUDA queues share the device-wide scheduler.
+func TestHStreamsBackendSubdivides(t *testing.T) {
+	hs, err := NewHStreams(platform.HSWPlusKNC(1), core.ModeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Fini()
+	q1, _ := hs.CreateQueue(0)
+	q2, _ := hs.CreateQueue(0)
+	a, _ := hs.Alloc(0, 1<<20)
+	b, _ := hs.Alloc(0, 1<<20)
+	cost := platform.Cost{Kernel: platform.KDGEMM, Flops: 5e9, N: 1200}
+	e1, err := q1.Launch("k", nil, []Range{All(a, InOut)}, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := q2.Launch("k", nil, []Range{All(b, InOut)}, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	a1 := e1.(hsEvent).a
+	a2 := e2.(hsEvent).a
+	s1, f1 := a1.Times()
+	s2, f2 := a2.Times()
+	if s2 >= f1 || s1 >= f2 {
+		t.Fatalf("hStreams queues on disjoint cores did not overlap: [%v,%v) vs [%v,%v)", s1, f1, s2, f2)
+	}
+}

@@ -1,0 +1,236 @@
+// Package kernels registers the sink-side tile kernels every
+// application and baseline shares, and provides the matching cost
+// descriptors for simulated execution.
+//
+// Tile convention: a tile is a contiguous tb×tb column-major block.
+// Tiled matrices store tile (i, j) of an nt×nt tiling at byte offset
+// (j·nt + i)·tb²·8, so every tile is a contiguous operand range —
+// which is what makes hStreams dependence analysis and per-tile
+// transfers work.
+package kernels
+
+import (
+	"hstreams/internal/blas"
+	"hstreams/internal/core"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/platform"
+)
+
+// Kernel names registered by Register.
+const (
+	// Dgemm: C -= A·Bᵀ (args: m, n, k; ops: A in, B in, C inout).
+	// The minus-accumulate form is what tiled Cholesky needs; tiled
+	// matmul uses DgemmAcc.
+	Dgemm = "tile.dgemm.subT"
+	// DgemmAcc: C += A·B (args: m, n, k; ops: A in, B in, C inout).
+	DgemmAcc = "tile.dgemm.acc"
+	// Dsyrk: C -= A·Aᵀ, lower (args: n, k; ops: A in, C inout).
+	Dsyrk = "tile.dsyrk.sub"
+	// Dtrsm: B := B·L⁻ᵀ, right/lower/trans/non-unit (args: m, n;
+	// ops: L in, B inout) — the tiled-Cholesky panel solve.
+	Dtrsm = "tile.dtrsm.rlt"
+	// Dpotf2: in-place lower Cholesky of a tile (args: n; ops: A
+	// inout).
+	Dpotf2 = "tile.dpotf2"
+	// LdltPanel: in-place blocked LDLᵀ of a tile or whole supernode
+	// (args: n, nb; ops: A inout).
+	LdltPanel = "tile.ldlt"
+	// LdltSolve: B := B·L⁻ᵀ·D⁻¹ against a factored diagonal tile
+	// (args: m, n; ops: LD in, B inout) — the LDLᵀ panel solve.
+	LdltSolve = "tile.ldlt.solve"
+	// LdltUpdate: C -= A·D·Bᵀ with D the diagonal of a factored tile
+	// (args: m, n, k; ops: A in, LD in, B in, C inout).
+	LdltUpdate = "tile.ldlt.update"
+	// Zero: clears the operand (ops: A out).
+	Zero = "tile.zero"
+	// Getf2 is the unblocked, no-pivot LU of a tile (args: n; ops: A
+	// inout) — the tiled-LU panel kernel.
+	Getf2 = "tile.getf2"
+	// TrsmLLNU: B := L⁻¹·B, left/lower/no-trans/unit (args: m, n;
+	// ops: L in, B inout) — the LU row-panel solve.
+	TrsmLLNU = "tile.trsm.llnu"
+	// TrsmRUNN: B := B·U⁻¹, right/upper/no-trans/non-unit (args: m,
+	// n; ops: U in, B inout) — the LU column-panel solve.
+	TrsmRUNN = "tile.trsm.runn"
+	// DgemmSubNN: C -= A·B (args: m, n, k; ops: A in, B in, C inout)
+	// — the LU trailing update.
+	DgemmSubNN = "tile.dgemm.subNN"
+)
+
+// Register installs all tile kernels into rt (needed in Real mode
+// before enqueueing; harmless in Sim mode).
+func Register(rt *core.Runtime) {
+	rt.RegisterKernel(Dgemm, func(ctx *core.KernelCtx) {
+		m, n, k := int(ctx.Args[0]), int(ctx.Args[1]), int(ctx.Args[2])
+		a := floatbits.Float64s(ctx.Ops[0])
+		b := floatbits.Float64s(ctx.Ops[1])
+		c := floatbits.Float64s(ctx.Ops[2])
+		blas.DgemmParallel(blas.NoTrans, blas.T, m, n, k, -1, a, m, b, n, 1, c, m, ctx.Threads)
+	})
+	rt.RegisterKernel(DgemmAcc, func(ctx *core.KernelCtx) {
+		m, n, k := int(ctx.Args[0]), int(ctx.Args[1]), int(ctx.Args[2])
+		a := floatbits.Float64s(ctx.Ops[0])
+		b := floatbits.Float64s(ctx.Ops[1])
+		c := floatbits.Float64s(ctx.Ops[2])
+		blas.DgemmParallel(blas.NoTrans, blas.NoTrans, m, n, k, 1, a, m, b, k, 1, c, m, ctx.Threads)
+	})
+	rt.RegisterKernel(Dsyrk, func(ctx *core.KernelCtx) {
+		n, k := int(ctx.Args[0]), int(ctx.Args[1])
+		a := floatbits.Float64s(ctx.Ops[0])
+		c := floatbits.Float64s(ctx.Ops[1])
+		blas.DsyrkParallel(blas.Lower, blas.NoTrans, n, k, -1, a, n, 1, c, n, ctx.Threads)
+	})
+	rt.RegisterKernel(Dtrsm, func(ctx *core.KernelCtx) {
+		m, n := int(ctx.Args[0]), int(ctx.Args[1])
+		l := floatbits.Float64s(ctx.Ops[0])
+		b := floatbits.Float64s(ctx.Ops[1])
+		blas.Dtrsm(blas.Right, blas.Lower, blas.T, blas.NonUnit, m, n, 1, l, n, b, m)
+	})
+	rt.RegisterKernel(Dpotf2, func(ctx *core.KernelCtx) {
+		n := int(ctx.Args[0])
+		a := floatbits.Float64s(ctx.Ops[0])
+		if err := blas.Dpotf2(blas.Lower, n, a, n); err != nil {
+			panic(err)
+		}
+	})
+	rt.RegisterKernel(LdltPanel, func(ctx *core.KernelCtx) {
+		n, nb := int(ctx.Args[0]), int(ctx.Args[1])
+		a := floatbits.Float64s(ctx.Ops[0])
+		if err := blas.LdltNB(n, a, n, nb); err != nil {
+			panic(err)
+		}
+	})
+	rt.RegisterKernel(LdltSolve, func(ctx *core.KernelCtx) {
+		m, n := int(ctx.Args[0]), int(ctx.Args[1])
+		ld := floatbits.Float64s(ctx.Ops[0]) // unit-lower L with D on the diagonal
+		b := floatbits.Float64s(ctx.Ops[1])
+		blas.Dtrsm(blas.Right, blas.Lower, blas.T, blas.Unit, m, n, 1, ld, n, b, m)
+		for j := 0; j < n; j++ {
+			d := ld[j+j*n]
+			col := b[j*m : j*m+m]
+			for i := range col {
+				col[i] /= d
+			}
+		}
+	})
+	rt.RegisterKernel(LdltUpdate, func(ctx *core.KernelCtx) {
+		m, n, k := int(ctx.Args[0]), int(ctx.Args[1]), int(ctx.Args[2])
+		a := floatbits.Float64s(ctx.Ops[0])
+		ld := floatbits.Float64s(ctx.Ops[1])
+		b := floatbits.Float64s(ctx.Ops[2])
+		c := floatbits.Float64s(ctx.Ops[3])
+		// W = A·diag(D), then C -= W·Bᵀ.
+		w := make([]float64, m*k)
+		for kk := 0; kk < k; kk++ {
+			d := ld[kk+kk*k]
+			src := a[kk*m : kk*m+m]
+			dst := w[kk*m : kk*m+m]
+			for i := range src {
+				dst[i] = src[i] * d
+			}
+		}
+		blas.DgemmParallel(blas.NoTrans, blas.T, m, n, k, -1, w, m, b, n, 1, c, m, ctx.Threads)
+	})
+	rt.RegisterKernel(Zero, func(ctx *core.KernelCtx) {
+		for i := range ctx.Ops[0] {
+			ctx.Ops[0][i] = 0
+		}
+	})
+	rt.RegisterKernel(Getf2, func(ctx *core.KernelCtx) {
+		n := int(ctx.Args[0])
+		a := floatbits.Float64s(ctx.Ops[0])
+		if err := blas.Dgetf2NoPivot(n, a, n); err != nil {
+			panic(err)
+		}
+	})
+	rt.RegisterKernel(TrsmLLNU, func(ctx *core.KernelCtx) {
+		m, n := int(ctx.Args[0]), int(ctx.Args[1])
+		l := floatbits.Float64s(ctx.Ops[0])
+		b := floatbits.Float64s(ctx.Ops[1])
+		blas.Dtrsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, m, n, 1, l, m, b, m)
+	})
+	rt.RegisterKernel(TrsmRUNN, func(ctx *core.KernelCtx) {
+		m, n := int(ctx.Args[0]), int(ctx.Args[1])
+		u := floatbits.Float64s(ctx.Ops[0])
+		b := floatbits.Float64s(ctx.Ops[1])
+		blas.Dtrsm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, m, n, 1, u, n, b, m)
+	})
+	rt.RegisterKernel(DgemmSubNN, func(ctx *core.KernelCtx) {
+		m, n, k := int(ctx.Args[0]), int(ctx.Args[1]), int(ctx.Args[2])
+		a := floatbits.Float64s(ctx.Ops[0])
+		b := floatbits.Float64s(ctx.Ops[1])
+		c := floatbits.Float64s(ctx.Ops[2])
+		blas.DgemmParallel(blas.NoTrans, blas.NoTrans, m, n, k, -1, a, m, b, k, 1, c, m, ctx.Threads)
+	})
+}
+
+// GemmCost models C (m×n) += A (m×k) · B: 2mnk flops, streaming
+// traffic of the three operands.
+func GemmCost(m, n, k int) platform.Cost {
+	return platform.Cost{
+		Kernel: platform.KDGEMM,
+		Flops:  2 * float64(m) * float64(n) * float64(k),
+		N:      minInt(m, minInt(n, k)),
+	}
+}
+
+// SyrkCost models an n×n rank-k update: n²k flops.
+func SyrkCost(n, k int) platform.Cost {
+	return platform.Cost{
+		Kernel: platform.KDSYRK,
+		Flops:  float64(n) * float64(n) * float64(k),
+		N:      minInt(n, k),
+	}
+}
+
+// TrsmCost models an m×n triangular solve: m·n² flops for a right-
+// side n×n triangle.
+func TrsmCost(m, n int) platform.Cost {
+	return platform.Cost{
+		Kernel: platform.KDTRSM,
+		Flops:  float64(m) * float64(n) * float64(n),
+		N:      minInt(m, n),
+	}
+}
+
+// Potf2Cost models the unblocked Cholesky of an n×n tile: n³/3 flops,
+// latency-bound efficiency class.
+func Potf2Cost(n int) platform.Cost {
+	return platform.Cost{
+		Kernel: platform.KDPOTF2,
+		Flops:  float64(n) * float64(n) * float64(n) / 3,
+		N:      n,
+	}
+}
+
+// PotrfCost models a blocked full-matrix Cholesky (host-native
+// baseline): n³/3 flops at the blocked-DPOTRF efficiency class.
+func PotrfCost(n int) platform.Cost {
+	return platform.Cost{
+		Kernel: platform.KDPOTRF,
+		Flops:  float64(n) * float64(n) * float64(n) / 3,
+		N:      n,
+	}
+}
+
+// LdltCost models a dense n×n supernode LDLᵀ: n³/3 flops.
+func LdltCost(n int) platform.Cost {
+	return platform.Cost{
+		Kernel: platform.KLDLT,
+		Flops:  float64(n) * float64(n) * float64(n) / 3,
+		N:      n,
+	}
+}
+
+// TileBytes returns the byte size of a tb×tb tile.
+func TileBytes(tb int) int64 { return int64(tb) * int64(tb) * 8 }
+
+// TileOff returns the byte offset of tile (i, j) in an nt-row tiling.
+func TileOff(i, j, nt, tb int) int64 { return (int64(j)*int64(nt) + int64(i)) * TileBytes(tb) }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hstreams/internal/blas"
+	"hstreams/internal/core"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/platform"
+)
+
+// run invokes a registered kernel directly on a host stream with the
+// given operand slices, returning after completion.
+func run(t *testing.T, rt *core.Runtime, s *core.Stream, name string, args []int64, bufs []*core.Buf, accs []core.Access) {
+	t.Helper()
+	ops := make([]core.Operand, len(bufs))
+	for i := range bufs {
+		ops[i] = bufs[i].All(accs[i])
+	}
+	a, err := s.EnqueueCompute(name, args, ops, platform.Cost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newHost(t *testing.T) (*core.Runtime, *core.Stream) {
+	t.Helper()
+	rt, err := core.Init(core.Config{Machine: platform.HSWPlusKNC(0), Mode: core.ModeReal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Fini)
+	Register(rt)
+	s, err := rt.StreamCreate(rt.Host(), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, s
+}
+
+func alloc(t *testing.T, rt *core.Runtime, n int, fill func(i int) float64) (*core.Buf, []float64) {
+	t.Helper()
+	b, f, err := rt.AllocFloat64("k", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fill != nil {
+		for i := range f {
+			f[i] = fill(i)
+		}
+	}
+	return b, f
+}
+
+func TestTileDgemmKernels(t *testing.T) {
+	rt, s := newHost(t)
+	const m = 6
+	rng := rand.New(rand.NewSource(1))
+	rnd := func(int) float64 { return rng.Float64() }
+	a, av := alloc(t, rt, m*m, rnd)
+	b, bv := alloc(t, rt, m*m, rnd)
+	c, cv := alloc(t, rt, m*m, rnd)
+	orig := append([]float64(nil), cv...)
+
+	// DgemmAcc: C += A·B
+	want := append([]float64(nil), orig...)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, m, m, m, 1, av, m, bv, m, 1, want, m)
+	run(t, rt, s, DgemmAcc, []int64{m, m, m}, []*core.Buf{a, b, c}, []core.Access{core.In, core.In, core.InOut})
+	for i := range want {
+		if math.Abs(cv[i]-want[i]) > 1e-12 {
+			t.Fatalf("DgemmAcc[%d] = %v, want %v", i, cv[i], want[i])
+		}
+	}
+
+	// Dgemm (subT): C -= A·Bᵀ
+	copy(cv, orig)
+	want = append(want[:0], orig...)
+	blas.Dgemm(blas.NoTrans, blas.T, m, m, m, -1, av, m, bv, m, 1, want, m)
+	run(t, rt, s, Dgemm, []int64{m, m, m}, []*core.Buf{a, b, c}, []core.Access{core.In, core.In, core.InOut})
+	for i := range want {
+		if math.Abs(cv[i]-want[i]) > 1e-12 {
+			t.Fatalf("Dgemm.subT[%d] = %v, want %v", i, cv[i], want[i])
+		}
+	}
+
+	// DgemmSubNN: C -= A·B
+	copy(cv, orig)
+	want = append(want[:0], orig...)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, m, m, m, -1, av, m, bv, m, 1, want, m)
+	run(t, rt, s, DgemmSubNN, []int64{m, m, m}, []*core.Buf{a, b, c}, []core.Access{core.In, core.In, core.InOut})
+	for i := range want {
+		if math.Abs(cv[i]-want[i]) > 1e-12 {
+			t.Fatalf("DgemmSubNN[%d] = %v, want %v", i, cv[i], want[i])
+		}
+	}
+}
+
+func TestTileFactorizationKernels(t *testing.T) {
+	rt, s := newHost(t)
+	const m = 8
+	// Dpotf2 on an SPD tile.
+	spd, spdv := alloc(t, rt, m*m, nil)
+	rng := rand.New(rand.NewSource(2))
+	for j := 0; j < m; j++ {
+		for i := 0; i <= j; i++ {
+			v := rng.Float64()
+			spdv[i+j*m] = v
+			spdv[j+i*m] = v
+		}
+		spdv[j+j*m] += float64(m)
+	}
+	want := append([]float64(nil), spdv...)
+	if err := blas.Dpotf2(blas.Lower, m, want, m); err != nil {
+		t.Fatal(err)
+	}
+	run(t, rt, s, Dpotf2, []int64{m}, []*core.Buf{spd}, []core.Access{core.InOut})
+	for j := 0; j < m; j++ {
+		for i := j; i < m; i++ {
+			if math.Abs(spdv[i+j*m]-want[i+j*m]) > 1e-12 {
+				t.Fatalf("Dpotf2 differs at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// LdltPanel on a diagonally dominant tile.
+	sym, symv := alloc(t, rt, m*m, nil)
+	for j := 0; j < m; j++ {
+		for i := 0; i <= j; i++ {
+			v := rng.Float64() - 0.5
+			symv[i+j*m] = v
+			symv[j+i*m] = v
+		}
+		symv[j+j*m] = float64(m) + 1
+	}
+	want = append(want[:0], symv...)
+	if err := blas.LdltNB(m, want, m, 4); err != nil {
+		t.Fatal(err)
+	}
+	run(t, rt, s, LdltPanel, []int64{m, 4}, []*core.Buf{sym}, []core.Access{core.InOut})
+	for j := 0; j < m; j++ {
+		for i := j; i < m; i++ {
+			if math.Abs(symv[i+j*m]-want[i+j*m]) > 1e-10 {
+				t.Fatalf("LdltPanel differs at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Getf2 (no-pivot LU) on the same dominant tile.
+	lun, lunv := alloc(t, rt, m*m, func(i int) float64 { return rng.Float64() })
+	for j := 0; j < m; j++ {
+		lunv[j+j*m] += float64(m)
+	}
+	want = append(want[:0], lunv...)
+	if err := blas.Dgetf2NoPivot(m, want, m); err != nil {
+		t.Fatal(err)
+	}
+	run(t, rt, s, Getf2, []int64{m}, []*core.Buf{lun}, []core.Access{core.InOut})
+	for i := range want {
+		if math.Abs(lunv[i]-want[i]) > 1e-10 {
+			t.Fatalf("Getf2 differs at %d", i)
+		}
+	}
+}
+
+func TestZeroKernel(t *testing.T) {
+	rt, s := newHost(t)
+	b, f := alloc(t, rt, 32, func(int) float64 { return 5 })
+	run(t, rt, s, Zero, nil, []*core.Buf{b}, []core.Access{core.Out})
+	for i := range f {
+		if f[i] != 0 {
+			t.Fatalf("Zero left f[%d] = %v", i, f[i])
+		}
+	}
+}
+
+func TestCostDescriptors(t *testing.T) {
+	if GemmCost(4, 5, 6).Flops != 240 {
+		t.Fatal("GemmCost flops")
+	}
+	if SyrkCost(4, 5).Flops != 80 {
+		t.Fatal("SyrkCost flops")
+	}
+	if TrsmCost(4, 5).Flops != 100 {
+		t.Fatal("TrsmCost flops")
+	}
+	if Potf2Cost(6).Kernel != platform.KDPOTF2 {
+		t.Fatal("Potf2Cost class")
+	}
+	if PotrfCost(6).Kernel != platform.KDPOTRF {
+		t.Fatal("PotrfCost class")
+	}
+	if LdltCost(6).Kernel != platform.KLDLT {
+		t.Fatal("LdltCost class")
+	}
+	if TileBytes(10) != 800 {
+		t.Fatal("TileBytes")
+	}
+	if TileOff(1, 2, 4, 10) != (2*4+1)*800 {
+		t.Fatal("TileOff")
+	}
+}
+
+func TestFloatbitsInterop(t *testing.T) {
+	// The kernels view operand bytes through floatbits; a quick
+	// sanity that the view round-trips through the core path.
+	rt, s := newHost(t)
+	b, f := alloc(t, rt, 4, func(i int) float64 { return float64(i) })
+	rt.RegisterKernel("probe", func(ctx *core.KernelCtx) {
+		v := floatbits.Float64s(ctx.Ops[0])
+		for i := range v {
+			v[i] *= 2
+		}
+	})
+	run(t, rt, s, "probe", nil, []*core.Buf{b}, []core.Access{core.InOut})
+	for i := range f {
+		if f[i] != float64(2*i) {
+			t.Fatalf("f[%d] = %v", i, f[i])
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Package lu implements the LU factorization (DGETRF) the paper
+// discusses alongside matmul and Cholesky (§VI): "At present, DGETRF
+// runs better on the host than the coprocessor, and an untiled scheme
+// works best for sizes smaller than 4K."
+//
+// Two schemes are provided:
+//
+//   - Native: one untiled DGETRF call on a single domain (host or
+//     card), with real blocked partial-pivoting LU in Real mode.
+//   - Tiled: the right-looking tiled algorithm without cross-tile
+//     pivoting (panel GETF2, row/column triangular solves, GEMM
+//     trailing updates), distributed across streams and domains like
+//     the Cholesky of Fig. 5. Real-mode inputs must be safely
+//     factorizable without pivoting (diagonally dominant), which is
+//     the standard restriction of tiled no-pivot LU.
+package lu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"hstreams/internal/app"
+	"hstreams/internal/blas"
+	"hstreams/internal/core"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/kernels"
+	"hstreams/internal/matrix"
+	"hstreams/internal/platform"
+)
+
+// ErrBadTiling reports an n not divisible by the tile size.
+var ErrBadTiling = errors.New("lu: matrix size must be a multiple of the tile size")
+
+// Result summarizes a run.
+type Result struct {
+	Seconds time.Duration
+	GFlops  float64
+}
+
+// RunNative factorizes untiled on one domain: the host (domain < 0)
+// or card `domain` — the scheme the paper found best below 4K.
+func RunNative(machine *platform.Machine, mode core.Mode, n int, domain int, seed int64) (Result, error) {
+	rt, err := core.Init(core.Config{Machine: machine, Mode: mode})
+	if err != nil {
+		return Result{}, err
+	}
+	defer rt.Fini()
+	var d *core.Domain
+	if domain < 0 {
+		d = rt.Host()
+	} else {
+		d = rt.Card(domain)
+	}
+	s, err := rt.StreamCreate(d, 0, d.Spec().Cores())
+	if err != nil {
+		return Result{}, err
+	}
+	buf, err := rt.Alloc1D("Alu", int64(n)*int64(n)*8)
+	if err != nil {
+		return Result{}, err
+	}
+	var orig *matrix.Dense
+	if mode == core.ModeReal {
+		rt.RegisterKernel("dgetrf.native", func(ctx *core.KernelCtx) {
+			nn := int(ctx.Args[0])
+			a := floatbits.Float64s(ctx.Ops[0])
+			ipiv := make([]int, nn)
+			if err := blas.Dgetrf(nn, nn, a, nn, ipiv); err != nil {
+				panic(err)
+			}
+		})
+		orig = matrix.RandGeneral(n, n, seed+1)
+		for i := 0; i < n; i++ {
+			orig.Set(i, i, orig.At(i, i)+float64(n))
+		}
+		copy(buf.HostFloat64s(), orig.Data)
+	} else {
+		rt.RegisterKernel("dgetrf.native", func(*core.KernelCtx) {})
+	}
+	start := rt.Now()
+	var last *core.Action
+	if !d.IsHost() {
+		if last, err = s.EnqueueXferAll(buf, core.ToSink); err != nil {
+			return Result{}, err
+		}
+	}
+	_ = last
+	a, err := s.EnqueueCompute("dgetrf.native", []int64{int64(n)},
+		[]core.Operand{buf.All(core.InOut)},
+		platform.Cost{Kernel: platform.KDGETRF, Flops: blas.GetrfFlops(n), N: n})
+	if err != nil {
+		return Result{}, err
+	}
+	if !d.IsHost() {
+		if _, err := s.EnqueueXferAll(buf, core.ToSource); err != nil {
+			return Result{}, err
+		}
+	}
+	rt.ThreadSynchronize()
+	if err := rt.Err(); err != nil {
+		return Result{}, err
+	}
+	_ = a
+	elapsed := rt.Now() - start
+	return Result{Seconds: elapsed, GFlops: platform.GFlops(blas.GetrfFlops(n), elapsed)}, nil
+}
+
+// Config describes a tiled run.
+type Config struct {
+	N, Tile int
+	// UseHost includes host streams as a compute domain.
+	UseHost bool
+	// PanelOnHost places the GETF2 panels on the host.
+	PanelOnHost bool
+	// Verify (Real mode) checks L·U ≈ A on a diagonally dominant
+	// input.
+	Verify bool
+	Seed   int64
+}
+
+// RunTiled executes the tiled no-pivot LU across the app's streams.
+func RunTiled(a *app.App, cfg Config) (Result, error) {
+	if cfg.N%cfg.Tile != 0 {
+		return Result{}, ErrBadTiling
+	}
+	rt := a.RT
+	nt := cfg.N / cfg.Tile
+	tb := cfg.Tile
+	tbytes := kernels.TileBytes(tb)
+	buf, err := rt.Alloc1D("Alu", int64(nt*nt)*tbytes)
+	if err != nil {
+		return Result{}, err
+	}
+	var orig *matrix.Dense
+	if rt.Mode() == core.ModeReal {
+		kernels.Register(rt)
+		orig = matrix.RandGeneral(cfg.N, cfg.N, cfg.Seed+1)
+		for i := 0; i < cfg.N; i++ {
+			orig.Set(i, i, orig.At(i, i)+float64(cfg.N))
+		}
+		packTiles(buf.HostFloat64s(), orig, nt, tb)
+	}
+	doms := a.ComputeDomains()
+	if len(doms) == 0 {
+		return Result{}, app.ErrNoStreams
+	}
+	var panelStream *core.Stream
+	if cfg.PanelOnHost {
+		host := rt.Host()
+		var share *core.Stream
+		if hs := a.HostStreams(); len(hs) > 0 {
+			share = hs[0]
+		}
+		if panelStream, err = rt.StreamCreateOn(host, 0, host.Spec().Cores(), share); err != nil {
+			return Result{}, err
+		}
+	}
+	// Row AND column panels change owners per pass; for LU both the
+	// row k and column k of tiles are produced in the panel phase and
+	// broadcast. Updates of tile (i, j) belong to the owner of row i.
+	owner := make([]*core.Domain, nt)
+	for i := range owner {
+		owner[i] = doms[i%len(doms)]
+	}
+
+	type tstate struct {
+		last   *core.Action
+		stream *core.Stream
+		bcast  map[int]*core.Action
+	}
+	states := map[[2]int]*tstate{}
+	st := func(i, j int) *tstate {
+		k := [2]int{i, j}
+		s, ok := states[k]
+		if !ok {
+			s = &tstate{bcast: map[int]*core.Action{}}
+			states[k] = s
+		}
+		return s
+	}
+	off := func(i, j int) int64 { return kernels.TileOff(i, j, nt, tb) }
+	dep := func(deps []*core.Action, t *tstate, s *core.Stream) []*core.Action {
+		if t.last != nil && t.stream != s && !t.last.Completed() {
+			deps = append(deps, t.last)
+		}
+		return deps
+	}
+	ensure := func(i, j int, s *core.Stream) ([]*core.Action, error) {
+		t := st(i, j)
+		d := s.Domain()
+		if d.IsHost() {
+			return dep(nil, t, s), nil
+		}
+		if x, ok := t.bcast[d.Index()]; ok {
+			if x == nil {
+				return dep(nil, t, s), nil
+			}
+			if x.Stream() != s && !x.Completed() {
+				return []*core.Action{x}, nil
+			}
+			return nil, nil
+		}
+		deps := dep(nil, t, s)
+		x, err := s.EnqueueXferDeps(buf, off(i, j), tbytes, core.ToSink, deps)
+		if err != nil {
+			return nil, err
+		}
+		t.bcast[d.Index()] = x
+		return nil, nil
+	}
+	wrote := func(t *tstate, tileOff int64, act *core.Action, s *core.Stream) error {
+		t.last, t.stream = act, s
+		t.bcast = map[int]*core.Action{}
+		if !s.Domain().IsHost() {
+			t.bcast[s.Domain().Index()] = nil
+			pull, err := s.EnqueueXfer(buf, tileOff, tbytes, core.ToSource)
+			if err != nil {
+				return err
+			}
+			t.last, t.stream = pull, s
+		}
+		return nil
+	}
+	pick := func(row int) (*core.Stream, error) {
+		if cfg.PanelOnHost {
+			if len(a.HostStreams()) > 0 {
+				return a.NextStream(rt.Host())
+			}
+			return panelStream, nil
+		}
+		return a.NextStream(owner[row])
+	}
+
+	tb64 := int64(tb)
+	start := rt.Now()
+	for k := 0; k < nt; k++ {
+		// Panel GETF2 on the diagonal tile.
+		var ps *core.Stream
+		if cfg.PanelOnHost {
+			ps = panelStream
+		} else if ps, err = a.NextStream(owner[k]); err != nil {
+			return Result{}, err
+		}
+		deps, err := ensure(k, k, ps)
+		if err != nil {
+			return Result{}, err
+		}
+		deps = dep(deps, st(k, k), ps)
+		panel, err := ps.EnqueueComputeDeps(kernels.Getf2, []int64{tb64},
+			[]core.Operand{buf.Range(off(k, k), tbytes, core.InOut)},
+			platform.Cost{Kernel: platform.KDPOTF2, Flops: 2 * float64(tb) * float64(tb) * float64(tb) / 3, N: tb},
+			deps)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := wrote(st(k, k), off(k, k), panel, ps); err != nil {
+			return Result{}, err
+		}
+
+		// Row panel: U row k (solve L_kk·U_kj = A_kj).
+		for j := k + 1; j < nt; j++ {
+			s, err := pick(k)
+			if err != nil {
+				return Result{}, err
+			}
+			deps, err := ensure(k, k, s)
+			if err != nil {
+				return Result{}, err
+			}
+			if e2, err := ensure(k, j, s); err != nil {
+				return Result{}, err
+			} else {
+				deps = append(deps, e2...)
+			}
+			deps = dep(deps, st(k, k), s)
+			deps = dep(deps, st(k, j), s)
+			act, err := s.EnqueueComputeDeps(kernels.TrsmLLNU, []int64{tb64, tb64},
+				[]core.Operand{
+					buf.Range(off(k, k), tbytes, core.In),
+					buf.Range(off(k, j), tbytes, core.InOut),
+				}, kernels.TrsmCost(tb, tb), deps)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := wrote(st(k, j), off(k, j), act, s); err != nil {
+				return Result{}, err
+			}
+		}
+		// Column panel: L column k (solve L_ik·U_kk = A_ik).
+		for i := k + 1; i < nt; i++ {
+			s, err := pick(i)
+			if err != nil {
+				return Result{}, err
+			}
+			deps, err := ensure(k, k, s)
+			if err != nil {
+				return Result{}, err
+			}
+			if e2, err := ensure(i, k, s); err != nil {
+				return Result{}, err
+			} else {
+				deps = append(deps, e2...)
+			}
+			deps = dep(deps, st(k, k), s)
+			deps = dep(deps, st(i, k), s)
+			act, err := s.EnqueueComputeDeps(kernels.TrsmRUNN, []int64{tb64, tb64},
+				[]core.Operand{
+					buf.Range(off(k, k), tbytes, core.In),
+					buf.Range(off(i, k), tbytes, core.InOut),
+				}, kernels.TrsmCost(tb, tb), deps)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := wrote(st(i, k), off(i, k), act, s); err != nil {
+				return Result{}, err
+			}
+		}
+		// Trailing updates.
+		for i := k + 1; i < nt; i++ {
+			d := owner[i]
+			for j := k + 1; j < nt; j++ {
+				s, err := a.NextStream(d)
+				if err != nil {
+					return Result{}, err
+				}
+				var deps []*core.Action
+				for _, tl := range [][2]int{{i, k}, {k, j}, {i, j}} {
+					e, err := ensure(tl[0], tl[1], s)
+					if err != nil {
+						return Result{}, err
+					}
+					deps = append(deps, e...)
+					deps = dep(deps, st(tl[0], tl[1]), s)
+				}
+				upd, err := s.EnqueueComputeDeps(kernels.DgemmSubNN, []int64{tb64, tb64, tb64},
+					[]core.Operand{
+						buf.Range(off(i, k), tbytes, core.In),
+						buf.Range(off(k, j), tbytes, core.In),
+						buf.Range(off(i, j), tbytes, core.InOut),
+					}, kernels.GemmCost(tb, tb, tb), deps)
+				if err != nil {
+					return Result{}, err
+				}
+				t := st(i, j)
+				t.last, t.stream = upd, s
+				t.bcast = map[int]*core.Action{}
+				if !d.IsHost() {
+					t.bcast[d.Index()] = nil
+					// Next panel row/column tiles go home eagerly.
+					if i == k+1 || j == k+1 {
+						pull, err := s.EnqueueXfer(buf, off(i, j), tbytes, core.ToSource)
+						if err != nil {
+							return Result{}, err
+						}
+						t.last, t.stream = pull, s
+					}
+				}
+			}
+		}
+	}
+	rt.ThreadSynchronize()
+	if err := rt.Err(); err != nil {
+		return Result{}, err
+	}
+	elapsed := rt.Now() - start
+
+	if cfg.Verify && rt.Mode() == core.ModeReal {
+		if err := verifyLU(buf.HostFloat64s(), orig, nt, tb); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Seconds: elapsed, GFlops: platform.GFlops(blas.GetrfFlops(cfg.N), elapsed)}, nil
+}
+
+// packTiles stores the dense matrix tile-major.
+func packTiles(dst []float64, src *matrix.Dense, nt, tb int) {
+	for tj := 0; tj < nt; tj++ {
+		for ti := 0; ti < nt; ti++ {
+			tile := dst[(int64(tj)*int64(nt)+int64(ti))*int64(tb)*int64(tb):]
+			for jj := 0; jj < tb; jj++ {
+				for ii := 0; ii < tb; ii++ {
+					tile[ii+jj*tb] = src.At(ti*tb+ii, tj*tb+jj)
+				}
+			}
+		}
+	}
+}
+
+// verifyLU reconstructs L·U from the factored tiles and compares.
+func verifyLU(data []float64, orig *matrix.Dense, nt, tb int) error {
+	n := nt * tb
+	l := matrix.New(n, n)
+	u := matrix.New(n, n)
+	for tj := 0; tj < nt; tj++ {
+		for ti := 0; ti < nt; ti++ {
+			tile := data[(int64(tj)*int64(nt)+int64(ti))*int64(tb)*int64(tb):]
+			for jj := 0; jj < tb; jj++ {
+				for ii := 0; ii < tb; ii++ {
+					gi, gj := ti*tb+ii, tj*tb+jj
+					v := tile[ii+jj*tb]
+					switch {
+					case gi > gj:
+						l.Set(gi, gj, v)
+					case gi == gj:
+						l.Set(gi, gj, 1)
+						u.Set(gi, gj, v)
+					default:
+						u.Set(gi, gj, v)
+					}
+				}
+			}
+		}
+	}
+	var maxDiff float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			kmax := i
+			if j < kmax {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				s += l.At(i, k) * u.At(k, j)
+			}
+			if d := math.Abs(s - orig.At(i, j)); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff > 1e-8*float64(n) {
+		return fmt.Errorf("lu: tiled reconstruction differs by %g", maxDiff)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Package magma models the MAGMA library's hybrid Cholesky
+// factorization for MIC (§V, §VI): the trailing matrix lives on the
+// card, where the efficient DTRSM/DSYRK/DGEMM routines run, while the
+// latency-bound DPOTF2 panel is shipped back to the host — "MAGMA
+// code ships the DPOTF2 panel factorization back to the CPU and thus
+// the MIC spends most of the execution time in much more efficient
+// DTRSM, DSYRK, and DGEMM routines."
+//
+// The host contributes ONLY the panel: its spare compute capacity
+// idles during the trailing updates, which is exactly the ~10 % that
+// hStreams' hetero formulation recovers by also running update rows
+// on the host (§VI).
+package magma
+
+import (
+	"time"
+
+	"hstreams/internal/app"
+	"hstreams/internal/chol"
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+// magmaNB is MAGMA's (internally tuned, smoother-curve) blocking
+// factor.
+const magmaNB = 2000
+
+// Result mirrors the application result types.
+type Result struct {
+	Seconds time.Duration
+	GFlops  float64
+}
+
+// Dpotrf runs the MAGMA-style hybrid Cholesky on the machine's cards
+// with host-side panels.
+func Dpotrf(machine *platform.Machine, mode core.Mode, n int, verify bool, seed int64) (Result, error) {
+	tile := magmaNB
+	if n < 4*tile {
+		tile = n / 4
+	}
+	for n%tile != 0 && tile > 1 {
+		tile--
+	}
+	a, err := app.Init(app.Options{
+		Machine:        machine,
+		Mode:           mode,
+		StreamsPerCard: 4,
+		// No host compute streams: the host only runs the panel.
+		HostStreams: 0,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer a.Fini()
+	res, err := chol.Run(a, chol.Config{
+		N:       n,
+		Tile:    tile,
+		UseHost: false,
+		Panel:   chol.PanelMagma,
+		Verify:  verify,
+		Seed:    seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Seconds: res.Seconds, GFlops: res.GFlops}, nil
+}

@@ -1,0 +1,63 @@
+package magma
+
+import (
+	"testing"
+
+	"hstreams/internal/app"
+	"hstreams/internal/chol"
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+func TestRealMagmaDpotrfCorrect(t *testing.T) {
+	if _, err := Dpotrf(platform.HSWPlusKNC(1), core.ModeReal, 48, true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMagma2CardsCorrect(t *testing.T) {
+	if _, err := Dpotrf(platform.HSWPlusKNC(2), core.ModeReal, 60, true, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimMagmaVsOffloadVsHetero reproduces the Fig. 7 relationships
+// around MAGMA: shipping the panel to the host beats pure offload
+// (DPOTF2 on card is dismal), but loses to hetero hStreams, which
+// additionally uses spare host cores for efficient update routines —
+// the paper's ~10 % observation.
+func TestSimMagmaVsOffloadVsHetero(t *testing.T) {
+	const n = 24000
+	mag, err := Dpotrf(platform.HSWPlusKNC(1), core.ModeSim, n, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offApp, err := app.Init(app.Options{Machine: platform.HSWPlusKNC(1), Mode: core.ModeSim, StreamsPerCard: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer offApp.Fini()
+	off, err := chol.Run(offApp, chol.Config{N: n, Tile: 2000, Panel: chol.PanelCard})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hetApp, err := app.Init(app.Options{Machine: platform.HSWPlusKNC(1), Mode: core.ModeSim, StreamsPerCard: 4, HostStreams: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hetApp.Fini()
+	het, err := chol.Run(hetApp, chol.Config{N: n, Tile: 2400, UseHost: true, Panel: chol.PanelHost})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("GF/s: magma=%.0f offload=%.0f hetero=%.0f", mag.GFlops, off.GFlops, het.GFlops)
+	if !(mag.GFlops > off.GFlops) {
+		t.Fatalf("MAGMA (%.0f) not faster than pure offload (%.0f)", mag.GFlops, off.GFlops)
+	}
+	if !(het.GFlops > mag.GFlops) {
+		t.Fatalf("hetero hStreams (%.0f) not faster than MAGMA (%.0f)", het.GFlops, mag.GFlops)
+	}
+}

@@ -1,0 +1,75 @@
+package matmul
+
+import (
+	_ "embed"
+	"sort"
+	"strings"
+)
+
+//go:embed variants.go
+var variantsSource string
+
+// PhaseLines measures the Fig. 3 "additional source code lines"
+// columns from this repository's own model variants: it counts the
+// code lines between //[model:phase] and //[end] markers in
+// variants.go. Comments and blank lines do not count, matching how
+// one counts "lines of offload code".
+func PhaseLines() map[string]map[string]int {
+	out := map[string]map[string]int{}
+	var model, phase string
+	for _, line := range strings.Split(variantsSource, "\n") {
+		t := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(t, "//[end]"):
+			model, phase = "", ""
+		case strings.HasPrefix(t, "//[") && strings.Contains(t, ":"):
+			inner := strings.TrimSuffix(strings.TrimPrefix(t, "//["), "]")
+			parts := strings.SplitN(inner, ":", 2)
+			if len(parts) == 2 {
+				model, phase = parts[0], parts[1]
+				if out[model] == nil {
+					out[model] = map[string]int{}
+				}
+			}
+		case model != "" && t != "" && !strings.HasPrefix(t, "//"):
+			out[model][phase]++
+		}
+	}
+	return out
+}
+
+// TotalLines sums a model's phase counts.
+func TotalLines(phases map[string]int) int {
+	total := 0
+	for _, n := range phases {
+		total += n
+	}
+	return total
+}
+
+// PhaseNames returns the union of phase names in display order.
+func PhaseNames(all map[string]map[string]int) []string {
+	order := []string{
+		"initialization", "data-alloc", "data-transfers", "computation",
+		"synchronization", "data-transfers-out", "data-dealloc", "finalization",
+	}
+	seen := map[string]bool{}
+	for _, phases := range all {
+		for p := range phases {
+			seen[p] = true
+		}
+	}
+	var out []string
+	for _, p := range order {
+		if seen[p] {
+			out = append(out, p)
+			delete(seen, p)
+		}
+	}
+	var rest []string
+	for p := range seen {
+		rest = append(rest, p)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}

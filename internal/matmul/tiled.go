@@ -1,0 +1,64 @@
+package matmul
+
+import (
+	"fmt"
+
+	"hstreams/internal/blas"
+)
+
+// FillA and FillB are the deterministic element generators every
+// model variant uses, so all variants compute the same product.
+func FillA(i, j int) float64 { return float64((i+j)%5) / 4 }
+
+// FillB generates B's elements.
+func FillB(i, j int) float64 { return float64((2*i+3*j)%7) / 6 }
+
+// FillTiledSlice writes f(i, j) into global element (i, j) of a
+// tile-major buffer: tile (ti, tj) of an nt×nt tiling occupies
+// elements [(tj·nt+ti)·tb², …), column-major within the tile.
+func FillTiledSlice(data []float64, nt, tb int, f func(i, j int) float64) {
+	for tj := 0; tj < nt; tj++ {
+		for ti := 0; ti < nt; ti++ {
+			tile := data[(int64(tj)*int64(nt)+int64(ti))*int64(tb)*int64(tb):]
+			for jj := 0; jj < tb; jj++ {
+				for ii := 0; ii < tb; ii++ {
+					tile[ii+jj*tb] = f(ti*tb+ii, tj*tb+jj)
+				}
+			}
+		}
+	}
+}
+
+// UntileSlice flattens a tile-major buffer into a plain column-major
+// matrix.
+func UntileSlice(data []float64, nt, tb int) []float64 {
+	n := nt * tb
+	out := make([]float64, n*n)
+	for tj := 0; tj < nt; tj++ {
+		for ti := 0; ti < nt; ti++ {
+			tile := data[(int64(tj)*int64(nt)+int64(ti))*int64(tb)*int64(tb):]
+			for jj := 0; jj < tb; jj++ {
+				copy(out[(tj*tb+jj)*n+ti*tb:(tj*tb+jj)*n+ti*tb+tb], tile[jj*tb:jj*tb+tb])
+			}
+		}
+	}
+	return out
+}
+
+// VerifyTiledProduct recomputes C = A·B from tile-major A and B and
+// compares against tile-major C.
+func VerifyTiledProduct(aT, bT, cT []float64, nt, tb int) error {
+	n := nt * tb
+	a := UntileSlice(aT, nt, tb)
+	b := UntileSlice(bT, nt, tb)
+	c := UntileSlice(cT, nt, tb)
+	want := make([]float64, n*n)
+	blas.DgemmParallel(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, want, n, 8)
+	for i := range want {
+		d := c[i] - want[i]
+		if d > 1e-9 || d < -1e-9 {
+			return fmt.Errorf("matmul: verification failed at element %d: got %v want %v", i, c[i], want[i])
+		}
+	}
+	return nil
+}

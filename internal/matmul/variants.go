@@ -1,0 +1,731 @@
+package matmul
+
+import (
+	"time"
+
+	"hstreams/internal/apistat"
+	"hstreams/internal/core"
+	"hstreams/internal/cudasim"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/kernels"
+	"hstreams/internal/oclsim"
+	"hstreams/internal/ompoffload"
+	"hstreams/internal/ompss"
+	"hstreams/internal/platform"
+)
+
+// VariantResult is the measured row of the Fig. 3 coding-comparison
+// table for one programming model.
+type VariantResult struct {
+	Model      string
+	Seconds    time.Duration
+	GFlops     float64
+	UniqueAPIs int
+	TotalAPIs  int
+}
+
+func variantResult(model string, n int, elapsed time.Duration, api *apistat.Counter) VariantResult {
+	return VariantResult{
+		Model:      model,
+		Seconds:    elapsed,
+		GFlops:     platform.GFlops(2*float64(n)*float64(n)*float64(n), elapsed),
+		UniqueAPIs: api.Unique(),
+		TotalAPIs:  api.Total(),
+	}
+}
+
+// HStreamsVariant is the single-card tiled matmul in hStreams form:
+// plain integer streams, one proxy address per matrix, implicit
+// in-stream dependences from operands. The //[model:phase] markers
+// delimit the offload-specific code counted by cmd/codingtable.
+func HStreamsVariant(mode core.Mode, n, tb, nStreams int, verify bool) (VariantResult, error) {
+	var api apistat.Counter
+	nt := n / tb
+	tbytes := kernels.TileBytes(tb)
+
+	//[hstreams:initialization]
+	rt, err := core.Init(core.Config{Machine: platform.HSWPlusKNC(1), Mode: mode})
+	if err != nil {
+		return VariantResult{}, err
+	}
+	api.Hit("hStreams_app_init")
+	card := rt.Card(0)
+	streams := make([]*core.Stream, nStreams)
+	for i := range streams {
+		w := card.Spec().Cores() / nStreams
+		if streams[i], err = rt.StreamCreate(card, i*w, w); err != nil {
+			return VariantResult{}, err
+		}
+		api.Hit("hStreams_StreamCreate")
+	}
+	//[end]
+	defer rt.Fini()
+	if mode == core.ModeReal {
+		kernels.Register(rt)
+		RegisterExtra(rt)
+	}
+
+	//[hstreams:data-alloc]
+	bufA, err := rt.Alloc1D("A", int64(nt*nt)*tbytes)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	bufB, err := rt.Alloc1D("B", int64(nt*nt)*tbytes)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	bufC, err := rt.Alloc1D("C", int64(nt*nt)*tbytes)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	api.Hit("hStreams_app_create_buf")
+	api.Hit("hStreams_app_create_buf")
+	api.Hit("hStreams_app_create_buf")
+	//[end]
+	if mode == core.ModeReal {
+		fillTiled(bufA, nt, tb, FillA)
+		fillTiled(bufB, nt, tb, FillB)
+	}
+	start := rt.Now()
+	res := newResidency(2)
+
+	for j := 0; j < nt; j++ {
+		for i := 0; i < nt; i++ {
+			s := streams[(j*nt+i)%nStreams]
+			cOff := kernels.TileOff(i, j, nt, tb)
+			for k := 0; k < nt; k++ {
+				aOff := kernels.TileOff(i, k, nt, tb)
+				bOff := kernels.TileOff(k, j, nt, tb)
+				//[hstreams:data-transfers]
+				var deps []*core.Action
+				for _, t := range []struct {
+					buf *core.Buf
+					off int64
+				}{{bufA, aOff}, {bufB, bOff}} {
+					dep, err := res.ensure(card, s, t.buf, t.off, tbytes)
+					if err != nil {
+						return VariantResult{}, err
+					}
+					api.Hit("hStreams_app_xfer_memory")
+					if dep != nil {
+						deps = append(deps, dep)
+					}
+				}
+				//[end]
+				//[hstreams:computation]
+				kname := kernels.DgemmAcc
+				if k == 0 {
+					kname = dgemmOverwrite
+				}
+				_, err = s.EnqueueComputeDeps(kname, []int64{int64(tb), int64(tb), int64(tb)},
+					[]core.Operand{
+						bufA.Range(aOff, tbytes, core.In),
+						bufB.Range(bOff, tbytes, core.In),
+						bufC.Range(cOff, tbytes, core.InOut),
+					}, kernels.GemmCost(tb, tb, tb), deps)
+				if err != nil {
+					return VariantResult{}, err
+				}
+				api.Hit("hStreams_EnqueueCompute")
+				//[end]
+			}
+			//[hstreams:data-transfers-out]
+			if _, err := s.EnqueueXfer(bufC, cOff, tbytes, core.ToSource); err != nil {
+				return VariantResult{}, err
+			}
+			api.Hit("hStreams_app_xfer_memory")
+			//[end]
+		}
+	}
+	//[hstreams:synchronization]
+	rt.ThreadSynchronize()
+	api.Hit("hStreams_app_thread_sync")
+	//[end]
+	elapsed := rt.Now() - start
+	if err := rt.Err(); err != nil {
+		return VariantResult{}, err
+	}
+	if verify && mode == core.ModeReal {
+		if err := VerifyTiledProduct(bufA.HostFloat64s(), bufB.HostFloat64s(), bufC.HostFloat64s(), nt, tb); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	//[hstreams:finalization]
+	rt.Fini()
+	api.Hit("hStreams_app_fini")
+	//[end]
+	return variantResult("hStreams", n, elapsed, &api), nil
+}
+
+// CUDAVariant is the same algorithm in CUDA Streams form: opaque
+// stream and event handles that must be created and destroyed, one
+// device pointer per matrix per device, explicit events wherever a
+// dependence crosses streams, and strict FIFO inside each stream.
+func CUDAVariant(mode core.Mode, n, tb, nStreams int, verify bool) (VariantResult, error) {
+	nt := n / tb
+	tbytes := kernels.TileBytes(tb)
+
+	//[cuda:initialization]
+	cu, err := cudasim.Init(platform.HSWPlusK40(1), mode)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	streams := make([]*cudasim.Stream, nStreams)
+	for i := range streams {
+		if streams[i], err = cu.StreamCreate(0); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	//[end]
+	defer cu.Fini()
+	if mode == core.ModeReal {
+		kernels.Register(cu.RT)
+		RegisterExtra(cu.RT)
+	}
+
+	//[cuda:data-alloc]
+	devA, err := cu.Malloc(0, int64(nt*nt)*tbytes)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	devB, err := cu.Malloc(0, int64(nt*nt)*tbytes)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	devC, err := cu.Malloc(0, int64(nt*nt)*tbytes)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	//[end]
+	if mode == core.ModeReal {
+		FillTiledSlice(floatbits.Float64s(devA.HostStage()), nt, tb, FillA)
+		FillTiledSlice(floatbits.Float64s(devB.HostStage()), nt, tb, FillB)
+	}
+	start := cu.RT.Now()
+
+	// Per-tile transfer bookkeeping: the stream that moved each tile
+	// and the event recorded after the copy, so other streams can
+	// wait on it — bookkeeping hStreams' operand analysis makes
+	// unnecessary.
+	//[cuda:data-transfers]
+	type moved struct {
+		st *cudasim.Stream
+		ev *cudasim.Event
+	}
+	sent := map[int64]moved{}
+	ensure := func(st *cudasim.Stream, p *cudasim.DevPtr, off int64) error {
+		key := off
+		if p == devB {
+			key += int64(nt*nt) * tbytes
+		}
+		if m, ok := sent[key]; ok {
+			if m.st != st {
+				return st.WaitEvent(m.ev)
+			}
+			return nil
+		}
+		if _, err := st.MemcpyH2DAsync(p, off, tbytes); err != nil {
+			return err
+		}
+		ev := cu.EventCreate()
+		if err := st.Record(ev); err != nil {
+			return err
+		}
+		sent[key] = moved{st, ev}
+		return nil
+	}
+	//[end]
+
+	for j := 0; j < nt; j++ {
+		for i := 0; i < nt; i++ {
+			st := streams[(j*nt+i)%nStreams]
+			cOff := kernels.TileOff(i, j, nt, tb)
+			for k := 0; k < nt; k++ {
+				aOff := kernels.TileOff(i, k, nt, tb)
+				bOff := kernels.TileOff(k, j, nt, tb)
+				if err := ensure(st, devA, aOff); err != nil {
+					return VariantResult{}, err
+				}
+				if err := ensure(st, devB, bOff); err != nil {
+					return VariantResult{}, err
+				}
+				//[cuda:computation]
+				kname := kernels.DgemmAcc
+				if k == 0 {
+					kname = dgemmOverwrite
+				}
+				_, err = st.Launch(kname, []int64{int64(tb), int64(tb), int64(tb)},
+					[]cudasim.Arg{
+						{Ptr: devA, Off: aOff, Len: tbytes},
+						{Ptr: devB, Off: bOff, Len: tbytes},
+						{Ptr: devC, Off: cOff, Len: tbytes},
+					}, kernels.GemmCost(tb, tb, tb))
+				if err != nil {
+					return VariantResult{}, err
+				}
+				//[end]
+			}
+			//[cuda:data-transfers-out]
+			if _, err := st.MemcpyD2HAsync(devC, cOff, tbytes); err != nil {
+				return VariantResult{}, err
+			}
+			//[end]
+		}
+	}
+	//[cuda:synchronization]
+	cu.DeviceSynchronize()
+	//[end]
+	elapsed := cu.RT.Now() - start
+	if err := cu.RT.Err(); err != nil {
+		return VariantResult{}, err
+	}
+	if verify && mode == core.ModeReal {
+		if err := VerifyTiledProduct(
+			floatbits.Float64s(devA.HostStage()),
+			floatbits.Float64s(devB.HostStage()),
+			floatbits.Float64s(devC.HostStage()), nt, tb); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	//[cuda:data-dealloc]
+	devA.Free()
+	devB.Free()
+	devC.Free()
+	//[end]
+	//[cuda:finalization]
+	for _, st := range streams {
+		if err := st.Destroy(); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	cu.Fini()
+	//[end]
+	return variantResult("CUDA", n, elapsed, &cu.API), nil
+}
+
+// OMP40UntiledVariant is the OpenMP 4.0 version the paper's "460"
+// cell measures: one synchronous target region mapping whole
+// matrices. Minimal code, no overlap.
+func OMP40UntiledVariant(mode core.Mode, n int, verify bool) (VariantResult, error) {
+	o, err := ompoffload.Init(platform.HSWPlusKNC(1), mode, ompoffload.V40)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	defer o.Fini()
+	if mode == core.ModeReal {
+		kernels.Register(o.RT)
+		RegisterExtra(o.RT)
+	}
+	bufA, err := o.RT.Alloc1D("A", int64(n)*int64(n)*8)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	bufB, _ := o.RT.Alloc1D("B", int64(n)*int64(n)*8)
+	bufC, _ := o.RT.Alloc1D("C", int64(n)*int64(n)*8)
+	if mode == core.ModeReal {
+		FillTiledSlice(bufA.HostFloat64s(), 1, n, FillA)
+		FillTiledSlice(bufB.HostFloat64s(), 1, n, FillB)
+	}
+	start := o.RT.Now()
+	//[omp40:computation]
+	err = o.Target(0, dgemmOverwrite, []int64{int64(n), int64(n), int64(n)},
+		kernels.GemmCost(n, n, n),
+		ompoffload.MapAll(bufA, ompoffload.MapTo),
+		ompoffload.MapAll(bufB, ompoffload.MapTo),
+		ompoffload.MapAll(bufC, ompoffload.MapFrom))
+	//[end]
+	if err != nil {
+		return VariantResult{}, err
+	}
+	elapsed := o.RT.Now() - start
+	if verify && mode == core.ModeReal {
+		if err := VerifyTiledProduct(bufA.HostFloat64s(), bufB.HostFloat64s(), bufC.HostFloat64s(), 1, n); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	return variantResult("OMP4.0", n, elapsed, &o.API), nil
+}
+
+// OMP40TiledVariant tiles the same computation with OpenMP 4.0's
+// synchronous constructs — which makes it SLOWER than untiled (the
+// paper's 180-vs-460 observation): every tile pays an un-overlapped
+// synchronous transfer.
+func OMP40TiledVariant(mode core.Mode, n, tb int, verify bool) (VariantResult, error) {
+	o, err := ompoffload.Init(platform.HSWPlusKNC(1), mode, ompoffload.V40)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	defer o.Fini()
+	if mode == core.ModeReal {
+		kernels.Register(o.RT)
+		RegisterExtra(o.RT)
+	}
+	nt := n / tb
+	tbytes := kernels.TileBytes(tb)
+	bufA, err := o.RT.Alloc1D("A", int64(nt*nt)*tbytes)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	bufB, _ := o.RT.Alloc1D("B", int64(nt*nt)*tbytes)
+	bufC, _ := o.RT.Alloc1D("C", int64(nt*nt)*tbytes)
+	if mode == core.ModeReal {
+		fillTiled(bufA, nt, tb, FillA)
+		fillTiled(bufB, nt, tb, FillB)
+	}
+	start := o.RT.Now()
+	//[omp40tiled:computation]
+	for j := 0; j < nt; j++ {
+		for i := 0; i < nt; i++ {
+			cOff := kernels.TileOff(i, j, nt, tb)
+			for k := 0; k < nt; k++ {
+				kname := kernels.DgemmAcc
+				dir := ompoffload.MapToFrom
+				if k == 0 {
+					kname = dgemmOverwrite
+					dir = ompoffload.MapFrom
+				}
+				err := o.Target(0, kname, []int64{int64(tb), int64(tb), int64(tb)},
+					kernels.GemmCost(tb, tb, tb),
+					ompoffload.Map{Buf: bufA, Off: kernels.TileOff(i, k, nt, tb), Len: tbytes, Dir: ompoffload.MapTo},
+					ompoffload.Map{Buf: bufB, Off: kernels.TileOff(k, j, nt, tb), Len: tbytes, Dir: ompoffload.MapTo},
+					ompoffload.Map{Buf: bufC, Off: cOff, Len: tbytes, Dir: dir})
+				if err != nil {
+					return VariantResult{}, err
+				}
+			}
+		}
+	}
+	//[end]
+	elapsed := o.RT.Now() - start
+	if verify && mode == core.ModeReal {
+		if err := VerifyTiledProduct(bufA.HostFloat64s(), bufB.HostFloat64s(), bufC.HostFloat64s(), nt, tb); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	return variantResult("OMP4.0-tiled", n, elapsed, &o.API), nil
+}
+
+// OMP45TiledVariant uses OpenMP 4.5's nowait/depend to regain
+// asynchrony (the paper could not measure this for lack of a
+// complete compiler; our model can).
+func OMP45TiledVariant(mode core.Mode, n, tb int, verify bool) (VariantResult, error) {
+	o, err := ompoffload.Init(platform.HSWPlusKNC(1), mode, ompoffload.V45)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	defer o.Fini()
+	if mode == core.ModeReal {
+		kernels.Register(o.RT)
+		RegisterExtra(o.RT)
+	}
+	nt := n / tb
+	tbytes := kernels.TileBytes(tb)
+	bufA, err := o.RT.Alloc1D("A", int64(nt*nt)*tbytes)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	bufB, _ := o.RT.Alloc1D("B", int64(nt*nt)*tbytes)
+	bufC, _ := o.RT.Alloc1D("C", int64(nt*nt)*tbytes)
+	if mode == core.ModeReal {
+		fillTiled(bufA, nt, tb, FillA)
+		fillTiled(bufB, nt, tb, FillB)
+	}
+	start := o.RT.Now()
+	//[omp45:data-transfers]
+	staged := map[int64]*core.Action{}
+	ensure := func(buf *core.Buf, off int64) (*core.Action, error) {
+		key := int64(buf.ProxyBase()) + off
+		if a, ok := staged[key]; ok {
+			return a, nil
+		}
+		a, err := o.TargetEnterData(0, true, ompoffload.Map{Buf: buf, Off: off, Len: tbytes, Dir: ompoffload.MapTo})
+		if err != nil {
+			return nil, err
+		}
+		staged[key] = a
+		return a, nil
+	}
+	//[end]
+	//[omp45:computation]
+	last := map[int64]*core.Action{}
+	for j := 0; j < nt; j++ {
+		for i := 0; i < nt; i++ {
+			cOff := kernels.TileOff(i, j, nt, tb)
+			for k := 0; k < nt; k++ {
+				aDep, err := ensure(bufA, kernels.TileOff(i, k, nt, tb))
+				if err != nil {
+					return VariantResult{}, err
+				}
+				bDep, err := ensure(bufB, kernels.TileOff(k, j, nt, tb))
+				if err != nil {
+					return VariantResult{}, err
+				}
+				deps := []*core.Action{aDep, bDep}
+				if prev := last[cOff]; prev != nil {
+					deps = append(deps, prev)
+				}
+				kname := kernels.DgemmAcc
+				if k == 0 {
+					kname = dgemmOverwrite
+				}
+				// A and B are already resident (enter data); map
+				// them alloc so the kernel sees all three operands.
+				a, err := o.TargetNowait(0, kname, []int64{int64(tb), int64(tb), int64(tb)},
+					kernels.GemmCost(tb, tb, tb), deps,
+					ompoffload.Map{Buf: bufA, Off: kernels.TileOff(i, k, nt, tb), Len: tbytes, Dir: ompoffload.MapAlloc},
+					ompoffload.Map{Buf: bufB, Off: kernels.TileOff(k, j, nt, tb), Len: tbytes, Dir: ompoffload.MapAlloc},
+					ompoffload.Map{Buf: bufC, Off: cOff, Len: tbytes, Dir: ompoffload.MapAlloc})
+				if err != nil {
+					return VariantResult{}, err
+				}
+				last[cOff] = a
+			}
+			if _, err := o.TargetExitData(0, true, ompoffload.Map{Buf: bufC, Off: cOff, Len: tbytes, Dir: ompoffload.MapFrom}); err != nil {
+				return VariantResult{}, err
+			}
+		}
+	}
+	//[end]
+	//[omp45:synchronization]
+	o.Taskwait()
+	//[end]
+	elapsed := o.RT.Now() - start
+	if err := o.RT.Err(); err != nil {
+		return VariantResult{}, err
+	}
+	if verify && mode == core.ModeReal {
+		if err := VerifyTiledProduct(bufA.HostFloat64s(), bufB.HostFloat64s(), bufC.HostFloat64s(), nt, tb); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	return variantResult("OMP4.5", n, elapsed, &o.API), nil
+}
+
+// OmpSsVariant expresses the computation as a task graph with
+// declared in/out tiles — the fewest lines of all, at the price of
+// runtime overhead per task (§III).
+func OmpSsVariant(mode core.Mode, n, tb int, verify bool) (VariantResult, error) {
+	r, err := ompss.Init(ompss.Config{Machine: platform.HSWPlusKNC(1), Mode: mode, Backend: ompss.BackendHStreams})
+	if err != nil {
+		return VariantResult{}, err
+	}
+	defer r.Fini()
+	if mode == core.ModeReal {
+		kernels.Register(r.Core())
+		RegisterExtra(r.Core())
+	}
+	nt := n / tb
+	tbytes := kernels.TileBytes(tb)
+	mk := func(fill func(i, j int) float64) ([][]*ompss.Region, error) {
+		tiles := make([][]*ompss.Region, nt)
+		for i := range tiles {
+			tiles[i] = make([]*ompss.Region, nt)
+			for j := range tiles[i] {
+				reg, err := r.CreateData(tbytes)
+				if err != nil {
+					return nil, err
+				}
+				if mode == core.ModeReal && fill != nil {
+					data := reg.Buf().HostFloat64s()
+					for jj := 0; jj < tb; jj++ {
+						for ii := 0; ii < tb; ii++ {
+							data[ii+jj*tb] = fill(i*tb+ii, j*tb+jj)
+						}
+					}
+				}
+				tiles[i][j] = reg
+			}
+		}
+		return tiles, nil
+	}
+	ta, err := mk(FillA)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	tbt, _ := mk(FillB)
+	tc, _ := mk(nil)
+	start := r.Core().Now()
+	//[ompss:computation]
+	for j := 0; j < nt; j++ {
+		for i := 0; i < nt; i++ {
+			for k := 0; k < nt; k++ {
+				// Natural OmpSs style declares inout(C) for every
+				// accumulation — the runtime cannot know the first
+				// write overwrites, so it conservatively stages C in
+				// (one of the convenience costs, §III).
+				kname := kernels.DgemmAcc
+				if k == 0 {
+					kname = dgemmOverwrite
+				}
+				if _, err := r.Submit(kname, []int64{int64(tb), int64(tb), int64(tb)},
+					[]ompss.Arg{{R: ta[i][k], Acc: ompss.In}, {R: tbt[k][j], Acc: ompss.In}, {R: tc[i][j], Acc: ompss.InOut}},
+					kernels.GemmCost(tb, tb, tb)); err != nil {
+					return VariantResult{}, err
+				}
+			}
+		}
+	}
+	//[end]
+	//[ompss:synchronization]
+	r.Taskwait()
+	//[end]
+	elapsed := r.Core().Now() - start
+	if err := r.Core().Err(); err != nil {
+		return VariantResult{}, err
+	}
+	if verify && mode == core.ModeReal {
+		flat := make([]float64, int64(nt*nt)*int64(tb*tb))
+		fa := make([]float64, len(flat))
+		fb := make([]float64, len(flat))
+		for j := 0; j < nt; j++ {
+			for i := 0; i < nt; i++ {
+				if err := r.SyncToHost(tc[i][j]); err != nil {
+					return VariantResult{}, err
+				}
+				off := (int64(j)*int64(nt) + int64(i)) * int64(tb*tb)
+				copy(flat[off:off+int64(tb*tb)], tc[i][j].Buf().HostFloat64s())
+				copy(fa[off:off+int64(tb*tb)], ta[i][j].Buf().HostFloat64s())
+				copy(fb[off:off+int64(tb*tb)], tbt[i][j].Buf().HostFloat64s())
+			}
+		}
+		if err := VerifyTiledProduct(fa, fb, flat, nt, tb); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	return variantResult("OmpSs", n, elapsed, &r.API), nil
+}
+
+// OpenCLVariant is the OpenCL rendition: heavy boilerplate, in-order
+// queues, and the untuned clBLAS rate (§IV: "OpenCL performance is
+// poor because clBLAS is not well tuned for MIC").
+func OpenCLVariant(mode core.Mode, n, tb, nQueues int, verify bool) (VariantResult, error) {
+	nt := n / tb
+	tbytes := kernels.TileBytes(tb)
+	//[opencl:initialization]
+	cl, err := oclsim.GetPlatform(platform.HSWPlusKNC(1), mode)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	if cl.GetDeviceIDs() < 1 {
+		return VariantResult{}, oclsim.ErrBadDevice
+	}
+	ctx, err := cl.CreateContext(0)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	prog := ctx.CreateProgramWithSource("__kernel void dgemm(...) { ... }")
+	prog.Build()
+	kAcc, err := prog.CreateKernel(oclDgemmAcc)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	kB0, err := prog.CreateKernel(oclDgemmB0)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	queues := make([]*oclsim.Queue, nQueues)
+	for i := range queues {
+		if queues[i], err = ctx.CreateCommandQueue(); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	//[end]
+	defer cl.Release()
+	if mode == core.ModeReal {
+		kernels.Register(cl.RT)
+		RegisterExtra(cl.RT)
+	}
+	//[opencl:data-alloc]
+	bufA, err := ctx.CreateBuffer(int64(nt*nt) * tbytes)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	bufB, _ := ctx.CreateBuffer(int64(nt*nt) * tbytes)
+	bufC, _ := ctx.CreateBuffer(int64(nt*nt) * tbytes)
+	//[end]
+	if mode == core.ModeReal {
+		FillTiledSlice(floatbits.Float64s(bufA.HostStage()), nt, tb, FillA)
+		FillTiledSlice(floatbits.Float64s(bufB.HostStage()), nt, tb, FillB)
+	}
+	start := cl.RT.Now()
+	//[opencl:data-transfers]
+	sent := map[int64]bool{}
+	ensure := func(q *oclsim.Queue, b *oclsim.Buffer, off int64, tag int64) error {
+		if sent[off+tag] {
+			return nil
+		}
+		sent[off+tag] = true
+		_, err := q.EnqueueWriteBuffer(b, off, tbytes)
+		return err
+	}
+	//[end]
+	for j := 0; j < nt; j++ {
+		for i := 0; i < nt; i++ {
+			qi := (j*nt + i) % nQueues
+			q := queues[qi]
+			cOff := kernels.TileOff(i, j, nt, tb)
+			for k := 0; k < nt; k++ {
+				aOff := kernels.TileOff(i, k, nt, tb)
+				bOff := kernels.TileOff(k, j, nt, tb)
+				// In-order queues cannot wait on another queue's
+				// transfer, so every queue re-sends shared tiles it
+				// has not sent itself.
+				if err := ensure(q, bufA, aOff, int64(qi)<<40); err != nil {
+					return VariantResult{}, err
+				}
+				if err := ensure(q, bufB, bOff, 1<<60|int64(qi)<<40); err != nil {
+					return VariantResult{}, err
+				}
+				//[opencl:computation]
+				k3 := kAcc
+				if k == 0 {
+					k3 = kB0
+				}
+				k3.SetArgScalar(0, int64(tb))
+				k3.SetArgScalar(1, int64(tb))
+				k3.SetArgScalar(2, int64(tb))
+				k3.SetArgScalar(3, aOff/8)
+				k3.SetArgScalar(4, bOff/8)
+				k3.SetArgScalar(5, cOff/8)
+				k3.SetArgBuffer(6, bufA)
+				k3.SetArgBuffer(7, bufB)
+				k3.SetArgBuffer(8, bufC)
+				if _, err := q.EnqueueNDRangeKernel(k3, 9, kernels.GemmCost(tb, tb, tb)); err != nil {
+					return VariantResult{}, err
+				}
+				//[end]
+			}
+			//[opencl:data-transfers-out]
+			if _, err := q.EnqueueReadBuffer(bufC, cOff, tbytes); err != nil {
+				return VariantResult{}, err
+			}
+			//[end]
+		}
+	}
+	//[opencl:synchronization]
+	for _, q := range queues {
+		if err := q.Finish(); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	//[end]
+	elapsed := cl.RT.Now() - start
+	if err := cl.RT.Err(); err != nil {
+		return VariantResult{}, err
+	}
+	//[opencl:data-dealloc]
+	bufA.Release()
+	bufB.Release()
+	bufC.Release()
+	kAcc.Release()
+	kB0.Release()
+	//[end]
+	//[opencl:finalization]
+	for _, q := range queues {
+		if err := q.Release(); err != nil {
+			return VariantResult{}, err
+		}
+	}
+	//[end]
+	return variantResult("OpenCL", n, elapsed, &cl.API), nil
+}

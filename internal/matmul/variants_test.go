@@ -1,0 +1,115 @@
+package matmul
+
+import (
+	"testing"
+
+	"hstreams/internal/core"
+)
+
+// All variants must compute the same (verified) product in Real mode.
+func TestVariantsCorrectReal(t *testing.T) {
+	const n, tb = 24, 12
+	cases := []struct {
+		name string
+		run  func() (VariantResult, error)
+	}{
+		{"hstreams", func() (VariantResult, error) { return HStreamsVariant(core.ModeReal, n, tb, 2, true) }},
+		{"cuda", func() (VariantResult, error) { return CUDAVariant(core.ModeReal, n, tb, 2, true) }},
+		{"omp40-untiled", func() (VariantResult, error) { return OMP40UntiledVariant(core.ModeReal, n, true) }},
+		{"omp40-tiled", func() (VariantResult, error) { return OMP40TiledVariant(core.ModeReal, n, tb, true) }},
+		{"omp45", func() (VariantResult, error) { return OMP45TiledVariant(core.ModeReal, n, tb, true) }},
+		{"ompss", func() (VariantResult, error) { return OmpSsVariant(core.ModeReal, n, tb, true) }},
+		{"opencl", func() (VariantResult, error) { return OpenCLVariant(core.ModeReal, n, tb, 2, true) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalAPIs == 0 {
+				t.Fatal("no API usage recorded")
+			}
+		})
+	}
+}
+
+// TestFig3APIOrdering checks the coding-comparison shape: hStreams
+// needs fewer unique APIs and total calls than CUDA and OpenCL
+// (paper: 8/18/16 unique, 16/31/28 total), while OpenMP 4.0 untiled
+// is the most compact of all.
+func TestFig3APIOrdering(t *testing.T) {
+	const n, tb = 4800, 1200
+	hs, err := HStreamsVariant(core.ModeSim, n, tb, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := CUDAVariant(core.ModeSim, n, tb, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := OpenCLVariant(core.ModeSim, n, tb, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o40, err := OMP40UntiledVariant(core.ModeSim, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hs.UniqueAPIs < cu.UniqueAPIs && hs.UniqueAPIs < cl.UniqueAPIs) {
+		t.Fatalf("unique APIs: hStreams %d, CUDA %d, OpenCL %d — hStreams must be fewest",
+			hs.UniqueAPIs, cu.UniqueAPIs, cl.UniqueAPIs)
+	}
+	if !(hs.TotalAPIs < cu.TotalAPIs && hs.TotalAPIs < cl.TotalAPIs) {
+		t.Fatalf("total APIs: hStreams %d, CUDA %d, OpenCL %d — hStreams must be fewest",
+			hs.TotalAPIs, cu.TotalAPIs, cl.TotalAPIs)
+	}
+	if o40.UniqueAPIs >= hs.UniqueAPIs {
+		t.Fatalf("OMP4.0 untiled unique APIs = %d, must be below hStreams' %d", o40.UniqueAPIs, hs.UniqueAPIs)
+	}
+}
+
+// TestFig3PerformanceOrdering checks the performance row of Fig. 3 at
+// the paper's scale (10 000², 1 card): hStreams > OmpSs > OMP4.0
+// untiled > OMP4.0 tiled > OpenCL, with the paper's headline
+// observations — tiling hurts OpenMP 4.0, and OpenCL is an order of
+// magnitude down.
+func TestFig3PerformanceOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale simulation")
+	}
+	const n, tb = 10000, 2000
+	hs, err := HStreamsVariant(core.ModeSim, n, tb, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := OmpSsVariant(core.ModeSim, n, tb, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u40, err := OMP40UntiledVariant(core.ModeSim, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t40, err := OMP40TiledVariant(core.ModeSim, n, tb, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocl, err := OpenCLVariant(core.ModeSim, n, tb, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("GF/s: hStreams=%.0f OmpSs=%.0f OMP4.0=%.0f OMP4.0-tiled=%.0f OpenCL=%.0f",
+		hs.GFlops, om.GFlops, u40.GFlops, t40.GFlops, ocl.GFlops)
+	if !(hs.GFlops > om.GFlops && om.GFlops > u40.GFlops) {
+		t.Fatalf("ordering hStreams > OmpSs > OMP4.0 violated: %.0f, %.0f, %.0f",
+			hs.GFlops, om.GFlops, u40.GFlops)
+	}
+	if t40.GFlops >= u40.GFlops {
+		t.Fatalf("OMP4.0 tiling should hurt: tiled %.0f ≥ untiled %.0f", t40.GFlops, u40.GFlops)
+	}
+	if ocl.GFlops*5 > hs.GFlops {
+		t.Fatalf("OpenCL %.0f not far below hStreams %.0f", ocl.GFlops, hs.GFlops)
+	}
+}

@@ -1,0 +1,218 @@
+// Package matrix provides the dense column-major matrices the
+// numerical kernels and the tiled algorithms operate on, plus the
+// generators and comparators the test suites use.
+//
+// Storage is column-major with an explicit leading dimension, the
+// LAPACK convention, so views over sub-blocks (tiles, panels) share
+// storage with the parent at zero cost.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a column-major matrix view: element (i, j) lives at
+// Data[i + j*LD].
+type Dense struct {
+	Rows, Cols int
+	LD         int
+	Data       []float64
+}
+
+// New allocates an r×c matrix with LD = r.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %d×%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, LD: max(r, 1), Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps existing column-major storage.
+func FromSlice(r, c, ld int, data []float64) *Dense {
+	if ld < r || (c > 0 && len(data) < ld*(c-1)+r) {
+		panic(fmt.Sprintf("matrix: slice too small for %d×%d ld %d", r, c, ld))
+	}
+	return &Dense{Rows: r, Cols: c, LD: ld, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i+j*m.LD] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i+j*m.LD] = v }
+
+// View returns the r×c sub-matrix starting at (i, j), sharing
+// storage.
+func (m *Dense) View(i, j, r, c int) *Dense {
+	if i < 0 || j < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("matrix: view (%d,%d,%d,%d) outside %d×%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	return &Dense{Rows: r, Cols: c, LD: m.LD, Data: m.Data[i+j*m.LD:]}
+}
+
+// Clone returns a compact deep copy (LD = Rows).
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		copy(out.Data[j*out.LD:j*out.LD+m.Rows], m.Data[j*m.LD:j*m.LD+m.Rows])
+	}
+	return out
+}
+
+// CopyFrom overwrites m with src (dimensions must match).
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("matrix: CopyFrom dimension mismatch")
+	}
+	for j := 0; j < m.Cols; j++ {
+		copy(m.Data[j*m.LD:j*m.LD+m.Rows], src.Data[j*src.LD:j*src.LD+src.Rows])
+	}
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.LD : j*m.LD+m.Rows]
+		for i := range col {
+			col[i] = v
+		}
+	}
+}
+
+// Eye sets m to the identity (on the min(Rows, Cols) diagonal).
+func (m *Dense) Eye() {
+	m.Fill(0)
+	n := min(m.Rows, m.Cols)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+}
+
+// MaxDiff returns the largest absolute element-wise difference.
+func (m *Dense) MaxDiff(o *Dense) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return math.Inf(1)
+	}
+	var d float64
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			if x := math.Abs(m.At(i, j) - o.At(i, j)); x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// EqualWithin reports whether all elements agree within tol.
+func (m *Dense) EqualWithin(o *Dense, tol float64) bool { return m.MaxDiff(o) <= tol }
+
+// NormInf returns the max absolute element.
+func (m *Dense) NormInf() float64 {
+	var d float64
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			if x := math.Abs(m.At(i, j)); x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// Random fills m with uniform values in [-1, 1).
+func (m *Dense) Random(rng *rand.Rand) {
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			m.Set(i, j, 2*rng.Float64()-1)
+		}
+	}
+}
+
+// RandGeneral returns a random r×c matrix.
+func RandGeneral(r, c int, seed int64) *Dense {
+	m := New(r, c)
+	m.Random(rand.New(rand.NewSource(seed)))
+	return m
+}
+
+// RandSPD returns a random symmetric positive-definite n×n matrix
+// (BᵀB + n·I), the input class Cholesky factorization requires.
+func RandSPD(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	b := New(n, n)
+	b.Random(rng)
+	a := New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b.At(k, i) * b.At(k, j)
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+	}
+	return a
+}
+
+// RandSymIndefinite returns a random symmetric (generally indefinite
+// but strongly diagonally dominant, so LDLᵀ without pivoting is
+// stable) n×n matrix for the solver proxy tests.
+func RandSymIndefinite(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	a := New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			v := 2*rng.Float64() - 1
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	// Diagonal dominance with mixed signs keeps it indefinite yet
+	// factorizable without pivoting.
+	for i := 0; i < n; i++ {
+		sign := 1.0
+		if i%3 == 2 {
+			sign = -1.0
+		}
+		a.Set(i, i, sign*(float64(n)+2))
+	}
+	return a
+}
+
+// LowerTimesLowerT computes L·Lᵀ from the lower triangle of l
+// (diagonal included), for verifying Cholesky factors.
+func LowerTimesLowerT(l *Dense) *Dense {
+	n := l.Rows
+	out := New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := 0; k <= min(i, j); k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.LD != 3 || len(m.Data) != 12 {
+		t.Fatalf("New(3,4) = %+v", m)
+	}
+	m.Set(2, 3, 7)
+	if m.At(2, 3) != 7 || m.Data[2+3*3] != 7 {
+		t.Fatal("column-major addressing broken")
+	}
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := New(6, 6)
+	v := m.View(2, 3, 2, 2)
+	v.Set(0, 0, 9)
+	if m.At(2, 3) != 9 {
+		t.Fatal("view does not alias parent")
+	}
+	if v.LD != m.LD {
+		t.Fatal("view must inherit LD")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range view did not panic")
+		}
+	}()
+	m.View(5, 5, 3, 3)
+}
+
+func TestCloneIsCompactAndDeep(t *testing.T) {
+	m := New(5, 5)
+	m.Set(1, 1, 3)
+	v := m.View(1, 1, 2, 2)
+	c := v.Clone()
+	if c.LD != 2 || c.At(0, 0) != 3 {
+		t.Fatalf("clone = %+v", c)
+	}
+	c.Set(0, 0, 8)
+	if m.At(1, 1) != 3 {
+		t.Fatal("clone aliases parent")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(3, 3)
+	a.Fill(2)
+	b := New(3, 3)
+	b.CopyFrom(a)
+	if b.MaxDiff(a) != 0 {
+		t.Fatal("CopyFrom incomplete")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	New(2, 2).CopyFrom(a)
+}
+
+func TestEyeFillNorm(t *testing.T) {
+	m := New(3, 3)
+	m.Eye()
+	if m.At(0, 0) != 1 || m.At(1, 0) != 0 || m.NormInf() != 1 {
+		t.Fatal("Eye wrong")
+	}
+	m.Fill(-4)
+	if m.NormInf() != 4 {
+		t.Fatal("NormInf wrong")
+	}
+}
+
+func TestMaxDiffShape(t *testing.T) {
+	if !math.IsInf(New(2, 2).MaxDiff(New(3, 3)), 1) {
+		t.Fatal("shape mismatch must be +Inf")
+	}
+	if !New(2, 2).EqualWithin(New(2, 2), 0) {
+		t.Fatal("equal matrices not equal")
+	}
+}
+
+func TestRandSPDIsSymmetricAndPD(t *testing.T) {
+	n := 30
+	a := RandSPD(n, 42)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.At(i, j) != a.At(j, i) {
+				t.Fatal("not symmetric")
+			}
+		}
+	}
+	// Diagonal dominance by construction implies PD here.
+	for i := 0; i < n; i++ {
+		if a.At(i, i) <= 0 {
+			t.Fatal("non-positive diagonal")
+		}
+	}
+}
+
+func TestRandSymIndefinite(t *testing.T) {
+	a := RandSymIndefinite(9, 3)
+	neg := false
+	for i := 0; i < 9; i++ {
+		if a.At(i, i) < 0 {
+			neg = true
+		}
+		for j := 0; j < 9; j++ {
+			if a.At(i, j) != a.At(j, i) {
+				t.Fatal("not symmetric")
+			}
+		}
+	}
+	if !neg {
+		t.Fatal("expected at least one negative diagonal entry")
+	}
+}
+
+func TestLowerTimesLowerT(t *testing.T) {
+	l := New(2, 2)
+	l.Set(0, 0, 2)
+	l.Set(1, 0, 3)
+	l.Set(1, 1, 1)
+	p := LowerTimesLowerT(l)
+	want := [][]float64{{4, 6}, {6, 10}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("p[%d][%d] = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	data := make([]float64, 10)
+	m := FromSlice(2, 3, 3, data)
+	m.Set(1, 2, 5)
+	if data[1+2*3] != 5 {
+		t.Fatal("FromSlice addressing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short slice did not panic")
+		}
+	}()
+	FromSlice(4, 4, 4, make([]float64, 10))
+}
+
+func TestViewRoundTripProperty(t *testing.T) {
+	f := func(i0, j0, v uint8) bool {
+		m := New(16, 16)
+		i, j := int(i0%16), int(j0%16)
+		m.Set(i, j, float64(v))
+		r := 16 - i
+		c := 16 - j
+		return m.View(i, j, r, c).At(0, 0) == float64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

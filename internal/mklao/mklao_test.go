@@ -1,0 +1,33 @@
+package mklao
+
+import (
+	"testing"
+
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+func TestRealAODpotrfCorrect(t *testing.T) {
+	if _, err := Dpotrf(platform.HSWPlusKNC(1), core.ModeReal, 48, true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealAODgemmCorrect(t *testing.T) {
+	if _, err := Dgemm(platform.HSWPlusKNC(1), core.ModeReal, 48, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimAOBetweenNativeAndHStreams(t *testing.T) {
+	// Fig. 7: MKL AO lands above native and pure offload but below
+	// tuned hetero hStreams.
+	const n = 24000
+	ao, err := Dpotrf(platform.HSWPlusKNC(2), core.ModeSim, n, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ao.GFlops < 900 || ao.GFlops > 2100 {
+		t.Fatalf("AO H+2K = %.0f GF/s, outside plausible Fig 7 band", ao.GFlops)
+	}
+}

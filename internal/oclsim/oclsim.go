@@ -1,0 +1,276 @@
+// Package oclsim models the OpenCL path the paper compares against
+// (§IV): verbose boilerplate (platform/context/program/kernel object
+// management), strictly in-order command queues, and a compute-rate
+// penalty reflecting that clBLAS was "significantly under-optimized
+// for the MIC" — the reason the paper's OpenCL matmul row reads
+// 35 GFlop/s against hStreams' 916.
+//
+// Like cudasim, it is a restriction of internal/core: every enqueue
+// is barrier-chained, and kernels take buffer objects bound with
+// SetKernelArg before launch.
+package oclsim
+
+import (
+	"errors"
+	"fmt"
+
+	"hstreams/internal/apistat"
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+// Common errors.
+var (
+	ErrBadDevice  = errors.New("oclsim: invalid device index")
+	ErrNotBuilt   = errors.New("oclsim: program not built")
+	ErrUnboundArg = errors.New("oclsim: kernel argument not set")
+	ErrReleased   = errors.New("oclsim: use after release")
+)
+
+// DefaultUntunedPenalty is the slowdown applied to kernel costs,
+// calibrated to clBLAS-on-MIC achieving ~35 GFlop/s where tuned
+// DGEMM reaches ~982 (§IV's table).
+const DefaultUntunedPenalty = 28.0
+
+// CL is an OpenCL platform instance over the machine's cards.
+type CL struct {
+	RT  *core.Runtime
+	API apistat.Counter
+	// UntunedPenalty multiplies modeled kernel time (Sim mode).
+	UntunedPenalty float64
+
+	devFirst []*core.Stream
+}
+
+// GetPlatform initializes the model (clGetPlatformIDs).
+func GetPlatform(machine *platform.Machine, mode core.Mode) (*CL, error) {
+	rt, err := core.Init(core.Config{Machine: machine, Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	cl := &CL{RT: rt, UntunedPenalty: DefaultUntunedPenalty, devFirst: make([]*core.Stream, rt.NumCards())}
+	cl.API.Hit("clGetPlatformIDs")
+	return cl, nil
+}
+
+// Release tears the platform down.
+func (cl *CL) Release() {
+	cl.API.Hit("clReleaseContext")
+	cl.RT.Fini()
+}
+
+// GetDeviceIDs enumerates the accelerator devices (clGetDeviceIDs).
+func (cl *CL) GetDeviceIDs() int {
+	cl.API.Hit("clGetDeviceIDs")
+	return cl.RT.NumCards()
+}
+
+// Context is an OpenCL context bound to one device.
+type Context struct {
+	cl  *CL
+	dev int
+}
+
+// CreateContext builds a context on device dev (clCreateContext).
+func (cl *CL) CreateContext(dev int) (*Context, error) {
+	cl.API.Hit("clCreateContext")
+	if dev < 0 || dev >= cl.RT.NumCards() {
+		return nil, ErrBadDevice
+	}
+	return &Context{cl: cl, dev: dev}, nil
+}
+
+// Program is a program object; it must be built before kernels can be
+// created from it.
+type Program struct {
+	ctx   *Context
+	built bool
+}
+
+// CreateProgramWithSource mirrors clCreateProgramWithSource; the
+// source text is ignored (kernels resolve in the shared registry).
+func (c *Context) CreateProgramWithSource(src string) *Program {
+	c.cl.API.Hit("clCreateProgramWithSource")
+	return &Program{ctx: c}
+}
+
+// Build mirrors clBuildProgram.
+func (p *Program) Build() {
+	p.ctx.cl.API.Hit("clBuildProgram")
+	p.built = true
+}
+
+// Kernel is a kernel object with bound arguments.
+type Kernel struct {
+	prog    *Program
+	name    string
+	scalars map[int]int64
+	bufs    map[int]*Buffer
+}
+
+// CreateKernel mirrors clCreateKernel.
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	p.ctx.cl.API.Hit("clCreateKernel")
+	if !p.built {
+		return nil, ErrNotBuilt
+	}
+	return &Kernel{prog: p, name: name, scalars: map[int]int64{}, bufs: map[int]*Buffer{}}, nil
+}
+
+// SetArgScalar binds a scalar argument (clSetKernelArg).
+func (k *Kernel) SetArgScalar(idx int, v int64) {
+	k.prog.ctx.cl.API.Hit("clSetKernelArg")
+	k.scalars[idx] = v
+	delete(k.bufs, idx)
+}
+
+// SetArgBuffer binds a buffer argument (clSetKernelArg).
+func (k *Kernel) SetArgBuffer(idx int, b *Buffer) {
+	k.prog.ctx.cl.API.Hit("clSetKernelArg")
+	k.bufs[idx] = b
+	delete(k.scalars, idx)
+}
+
+// Release mirrors clReleaseKernel.
+func (k *Kernel) Release() { k.prog.ctx.cl.API.Hit("clReleaseKernel") }
+
+// Buffer is a device memory object (one per context/device — as with
+// CUDA, there is no unified cross-device address).
+type Buffer struct {
+	ctx  *Context
+	buf  *core.Buf
+	size int64
+	dead bool
+}
+
+// CreateBuffer mirrors clCreateBuffer.
+func (c *Context) CreateBuffer(size int64) (*Buffer, error) {
+	c.cl.API.Hit("clCreateBuffer")
+	b, err := c.cl.RT.Alloc1D(fmt.Sprintf("cl.dev%d", c.dev), size)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{ctx: c, buf: b, size: size}, nil
+}
+
+// Release mirrors clReleaseMemObject.
+func (b *Buffer) Release() {
+	b.ctx.cl.API.Hit("clReleaseMemObject")
+	b.dead = true
+}
+
+// HostStage exposes the host staging area for filling inputs and
+// reading results (nil in Sim mode).
+func (b *Buffer) HostStage() []byte { return b.buf.HostBytes() }
+
+// Queue is an in-order command queue.
+type Queue struct {
+	ctx  *Context
+	s    *core.Stream
+	last *core.Action
+}
+
+// CreateCommandQueue mirrors clCreateCommandQueue. Queues of one
+// device share its compute resources.
+func (c *Context) CreateCommandQueue() (*Queue, error) {
+	c.cl.API.Hit("clCreateCommandQueue")
+	d := c.cl.RT.Card(c.dev)
+	s, err := c.cl.RT.StreamCreateOn(d, 0, d.Spec().Cores(), c.cl.devFirst[c.dev])
+	if err != nil {
+		return nil, err
+	}
+	if c.cl.devFirst[c.dev] == nil {
+		c.cl.devFirst[c.dev] = s
+	}
+	return &Queue{ctx: c, s: s}, nil
+}
+
+// Release mirrors clReleaseCommandQueue (drains first).
+func (q *Queue) Release() error {
+	q.ctx.cl.API.Hit("clReleaseCommandQueue")
+	return q.s.Synchronize()
+}
+
+// inorder chains the next command after the previous one.
+func (q *Queue) inorder() error {
+	if q.last != nil && !q.last.Completed() {
+		if _, err := q.s.EnqueueMarker(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnqueueWriteBuffer mirrors clEnqueueWriteBuffer (host→device).
+func (q *Queue) EnqueueWriteBuffer(b *Buffer, off, n int64) (*core.Action, error) {
+	q.ctx.cl.API.Hit("clEnqueueWriteBuffer")
+	if b.dead {
+		return nil, ErrReleased
+	}
+	if err := q.inorder(); err != nil {
+		return nil, err
+	}
+	a, err := q.s.EnqueueXfer(b.buf, off, n, core.ToSink)
+	if err != nil {
+		return nil, err
+	}
+	q.last = a
+	return a, nil
+}
+
+// EnqueueReadBuffer mirrors clEnqueueReadBuffer (device→host).
+func (q *Queue) EnqueueReadBuffer(b *Buffer, off, n int64) (*core.Action, error) {
+	q.ctx.cl.API.Hit("clEnqueueReadBuffer")
+	if b.dead {
+		return nil, ErrReleased
+	}
+	if err := q.inorder(); err != nil {
+		return nil, err
+	}
+	a, err := q.s.EnqueueXfer(b.buf, off, n, core.ToSource)
+	if err != nil {
+		return nil, err
+	}
+	q.last = a
+	return a, nil
+}
+
+// EnqueueNDRangeKernel launches the kernel with its currently bound
+// arguments (clEnqueueNDRangeKernel). cost describes the tuned-BLAS
+// operation; the untuned penalty is applied on top.
+func (q *Queue) EnqueueNDRangeKernel(k *Kernel, nArgs int, cost platform.Cost) (*core.Action, error) {
+	q.ctx.cl.API.Hit("clEnqueueNDRangeKernel")
+	var scalars []int64
+	var ops []core.Operand
+	for i := 0; i < nArgs; i++ {
+		if v, ok := k.scalars[i]; ok {
+			scalars = append(scalars, v)
+			continue
+		}
+		b, ok := k.bufs[i]
+		if !ok {
+			return nil, ErrUnboundArg
+		}
+		if b.dead {
+			return nil, ErrReleased
+		}
+		ops = append(ops, b.buf.All(core.InOut))
+	}
+	if err := q.inorder(); err != nil {
+		return nil, err
+	}
+	penalized := cost
+	penalized.Flops *= q.ctx.cl.UntunedPenalty
+	a, err := q.s.EnqueueCompute(k.name, scalars, ops, penalized)
+	if err != nil {
+		return nil, err
+	}
+	q.last = a
+	return a, nil
+}
+
+// Finish mirrors clFinish: block until the queue drains.
+func (q *Queue) Finish() error {
+	q.ctx.cl.API.Hit("clFinish")
+	return q.s.Synchronize()
+}

@@ -1,0 +1,180 @@
+package oclsim
+
+import (
+	"testing"
+
+	"hstreams/internal/core"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/platform"
+)
+
+func newCL(t *testing.T, mode core.Mode) *CL {
+	t.Helper()
+	cl, err := GetPlatform(platform.HSWPlusKNC(1), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Release)
+	return cl
+}
+
+func cost(n int) platform.Cost {
+	return platform.Cost{Kernel: platform.KDGEMM, Flops: 2 * float64(n) * float64(n) * float64(n), N: n}
+}
+
+func TestFullBoilerplateRoundTrip(t *testing.T) {
+	cl := newCL(t, core.ModeReal)
+	cl.RT.RegisterKernel("scale", func(ctx *core.KernelCtx) {
+		v := floatbits.Float64s(ctx.Ops[0])
+		for i := range v {
+			v[i] *= float64(ctx.Args[0])
+		}
+	})
+	if cl.GetDeviceIDs() != 1 {
+		t.Fatal("device count")
+	}
+	ctx, err := cl.CreateContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ctx.CreateProgramWithSource("__kernel void scale(...)")
+	prog.Build()
+	k, err := prog.CreateKernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.CreateBuffer(64 * 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := floatbits.Float64s(buf.HostStage())
+	for i := range stage {
+		stage[i] = 3
+	}
+	q, err := ctx.CreateCommandQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueWriteBuffer(buf, 0, 64*8); err != nil {
+		t.Fatal(err)
+	}
+	k.SetArgScalar(0, 7)
+	k.SetArgBuffer(1, buf)
+	if _, err := q.EnqueueNDRangeKernel(k, 2, platform.Cost{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueReadBuffer(buf, 0, 64*8); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range stage {
+		if stage[i] != 21 {
+			t.Fatalf("stage[%d] = %v, want 21", i, stage[i])
+		}
+	}
+	k.Release()
+	buf.Release()
+	if err := q.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// The boilerplate burden is measurable: this trivial round trip
+	// used more than a dozen API calls.
+	if cl.API.Total() < 13 {
+		t.Fatalf("API total = %d; expected heavy boilerplate", cl.API.Total())
+	}
+}
+
+func TestUnbuiltProgramRejected(t *testing.T) {
+	cl := newCL(t, core.ModeSim)
+	ctx, _ := cl.CreateContext(0)
+	prog := ctx.CreateProgramWithSource("src")
+	if _, err := prog.CreateKernel("k"); err != ErrNotBuilt {
+		t.Fatalf("err = %v, want ErrNotBuilt", err)
+	}
+}
+
+func TestUnboundArgRejected(t *testing.T) {
+	cl := newCL(t, core.ModeSim)
+	ctx, _ := cl.CreateContext(0)
+	prog := ctx.CreateProgramWithSource("src")
+	prog.Build()
+	k, _ := prog.CreateKernel("k")
+	q, _ := ctx.CreateCommandQueue()
+	k.SetArgScalar(0, 1)
+	if _, err := q.EnqueueNDRangeKernel(k, 2, cost(100)); err != ErrUnboundArg {
+		t.Fatalf("err = %v, want ErrUnboundArg", err)
+	}
+}
+
+func TestInOrderQueue(t *testing.T) {
+	cl := newCL(t, core.ModeSim)
+	ctx, _ := cl.CreateContext(0)
+	prog := ctx.CreateProgramWithSource("src")
+	prog.Build()
+	k, _ := prog.CreateKernel("k")
+	a, _ := ctx.CreateBuffer(1 << 20)
+	b, _ := ctx.CreateBuffer(1 << 20)
+	q, _ := ctx.CreateCommandQueue()
+	k.SetArgBuffer(0, a)
+	comp, err := q.EnqueueNDRangeKernel(k, 1, cost(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xfer, err := q.EnqueueWriteBuffer(b, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.RT.ThreadSynchronize()
+	_, ce := comp.Times()
+	xs, _ := xfer.Times()
+	if xs < ce {
+		t.Fatal("in-order queue reordered independent commands")
+	}
+}
+
+func TestUntunedPenaltySlowsKernels(t *testing.T) {
+	run := func(p float64) int64 {
+		cl := newCL(t, core.ModeSim)
+		cl.UntunedPenalty = p
+		ctx, _ := cl.CreateContext(0)
+		prog := ctx.CreateProgramWithSource("src")
+		prog.Build()
+		k, _ := prog.CreateKernel("k")
+		b, _ := ctx.CreateBuffer(1 << 20)
+		q, _ := ctx.CreateCommandQueue()
+		k.SetArgBuffer(0, b)
+		a, _ := q.EnqueueNDRangeKernel(k, 1, cost(2000))
+		cl.RT.ThreadSynchronize()
+		s, e := a.Times()
+		return int64(e - s)
+	}
+	t1 := run(1)
+	t10 := run(10)
+	ratio := float64(t10) / float64(t1)
+	if ratio < 9.5 || ratio > 10.5 {
+		t.Fatalf("penalty ratio = %.2f, want ≈10", ratio)
+	}
+}
+
+func TestUseAfterRelease(t *testing.T) {
+	cl := newCL(t, core.ModeSim)
+	ctx, _ := cl.CreateContext(0)
+	b, _ := ctx.CreateBuffer(128)
+	q, _ := ctx.CreateCommandQueue()
+	b.Release()
+	if _, err := q.EnqueueWriteBuffer(b, 0, 128); err != ErrReleased {
+		t.Fatalf("err = %v, want ErrReleased", err)
+	}
+	if _, err := q.EnqueueReadBuffer(b, 0, 128); err != ErrReleased {
+		t.Fatalf("err = %v, want ErrReleased", err)
+	}
+}
+
+func TestBadDevice(t *testing.T) {
+	cl := newCL(t, core.ModeSim)
+	if _, err := cl.CreateContext(3); err != ErrBadDevice {
+		t.Fatalf("err = %v, want ErrBadDevice", err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package ompoffload models OpenMP 4.0/4.5 device offload, the
+// standards-based alternative the paper compares hStreams with (§IV).
+// The semantic restrictions it reproduces:
+//
+//   - One logical device per card: OpenMP cannot subdivide a device
+//     into concurrent offload regions on disjoint core sets, so each
+//     device is a single full-width stream.
+//   - OpenMP 4.0: target regions and update transfers are
+//     synchronous — the host blocks, so transfers never overlap
+//     compute and tiling HURTS (the paper's 460 vs 180 GFlop/s
+//     observation).
+//   - OpenMP 4.5: adds nowait target tasks and depend clauses, which
+//     map to asynchronous enqueues plus explicit dependences.
+//   - Offload data marshaling: LEO-era map clauses staged data
+//     through the offload runtime instead of pinning user pages; the
+//     model charges MarshalHops wire trips per mapped byte.
+//
+// Host fallback (device ordinal < 0) executes target regions on the
+// host, as `omp target` does without a device — but unlike hStreams
+// there is no uniform interface: the caller branches.
+package ompoffload
+
+import (
+	"errors"
+
+	"hstreams/internal/apistat"
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+// Version selects the modeled OpenMP specification level.
+type Version int
+
+const (
+	// V40 is OpenMP 4.0: synchronous target and update constructs.
+	V40 Version = iota
+	// V45 is OpenMP 4.5: adds nowait/depend (async offload).
+	V45
+)
+
+// Common errors.
+var (
+	ErrNeed45    = errors.New("ompoffload: construct requires OpenMP 4.5")
+	ErrBadDevice = errors.New("ompoffload: invalid device ordinal")
+)
+
+// DefaultMarshalHops is how many wire trips a mapped byte costs
+// through the offload runtime's staging path. Calibrated so an
+// untiled 10 000² matmul lands near the paper's 460 GFlop/s row.
+const DefaultMarshalHops = 5
+
+// OMP is an offload runtime instance.
+type OMP struct {
+	RT  *core.Runtime
+	API apistat.Counter
+
+	Version Version
+	// MarshalHops is the staging multiplier on mapped transfers.
+	MarshalHops int
+
+	devStreams []*core.Stream // per card
+	hostStream *core.Stream
+}
+
+// Init brings up the model on machine.
+func Init(machine *platform.Machine, mode core.Mode, v Version) (*OMP, error) {
+	rt, err := core.Init(core.Config{Machine: machine, Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	o := &OMP{RT: rt, Version: v, MarshalHops: DefaultMarshalHops}
+	for c := 0; c < rt.NumCards(); c++ {
+		d := rt.Card(c)
+		s, err := rt.StreamCreate(d, 0, d.Spec().Cores())
+		if err != nil {
+			rt.Fini()
+			return nil, err
+		}
+		o.devStreams = append(o.devStreams, s)
+	}
+	h := rt.Host()
+	hs, err := rt.StreamCreate(h, 0, h.Spec().Cores())
+	if err != nil {
+		rt.Fini()
+		return nil, err
+	}
+	o.hostStream = hs
+	return o, nil
+}
+
+// Fini shuts the runtime down.
+func (o *OMP) Fini() { o.RT.Fini() }
+
+// stream returns the queue for a device ordinal (<0 = host).
+func (o *OMP) stream(dev int) (*core.Stream, error) {
+	if dev < 0 {
+		return o.hostStream, nil
+	}
+	if dev >= len(o.devStreams) {
+		return nil, ErrBadDevice
+	}
+	return o.devStreams[dev], nil
+}
+
+// MapDir is a map clause direction.
+type MapDir int
+
+const (
+	// MapTo copies host→device at region entry (map(to:)).
+	MapTo MapDir = iota
+	// MapFrom copies device→host at region exit (map(from:)).
+	MapFrom
+	// MapToFrom copies both ways (map(tofrom:)).
+	MapToFrom
+	// MapAlloc allocates without copying (map(alloc:)).
+	MapAlloc
+)
+
+// Map is one map clause: a buffer range and its direction.
+type Map struct {
+	Buf      *core.Buf
+	Off, Len int64
+	Dir      MapDir
+}
+
+// MapAll maps a whole buffer.
+func MapAll(b *core.Buf, dir MapDir) Map { return Map{Buf: b, Off: 0, Len: b.Size(), Dir: dir} }
+
+// enqueueMarshal models the staging path: MarshalHops chained wire
+// trips for the range.
+func (o *OMP) enqueueMarshal(s *core.Stream, m Map, dir core.XferDir) (*core.Action, error) {
+	hops := o.MarshalHops
+	if hops < 1 {
+		hops = 1
+	}
+	var last *core.Action
+	for h := 0; h < hops; h++ {
+		a, err := s.EnqueueXfer(m.Buf, m.Off, m.Len, dir)
+		if err != nil {
+			return nil, err
+		}
+		// Chain explicitly: identical read-direction transfers have
+		// no operand hazard, but the staging hops are sequential.
+		if h+1 < hops {
+			if _, err := s.EnqueueEventWait(a); err != nil {
+				return nil, err
+			}
+		}
+		last = a
+	}
+	return last, nil
+}
+
+// enters performs the entry side of map clauses.
+func (o *OMP) enters(s *core.Stream, maps []Map) (*core.Action, error) {
+	var last *core.Action
+	for _, m := range maps {
+		if m.Dir == MapTo || m.Dir == MapToFrom {
+			a, err := o.enqueueMarshal(s, m, core.ToSink)
+			if err != nil {
+				return nil, err
+			}
+			last = a
+		}
+	}
+	return last, nil
+}
+
+// exits performs the exit side of map clauses.
+func (o *OMP) exits(s *core.Stream, maps []Map) (*core.Action, error) {
+	var last *core.Action
+	for _, m := range maps {
+		if m.Dir == MapFrom || m.Dir == MapToFrom {
+			a, err := o.enqueueMarshal(s, m, core.ToSource)
+			if err != nil {
+				return nil, err
+			}
+			last = a
+		}
+	}
+	return last, nil
+}
+
+// operandsOf converts map clauses to compute operands: To → In,
+// From → Out, ToFrom/Alloc → InOut.
+func operandsOf(maps []Map) []core.Operand {
+	ops := make([]core.Operand, 0, len(maps))
+	for _, m := range maps {
+		acc := core.InOut
+		switch m.Dir {
+		case MapTo:
+			acc = core.In
+		case MapFrom:
+			acc = core.Out
+		}
+		ops = append(ops, core.Operand{Buf: m.Buf, Off: m.Off, Len: m.Len, Acc: acc})
+	}
+	return ops
+}
+
+// Target executes `#pragma omp target map(...)`: entry transfers,
+// kernel, exit transfers — synchronously. This is the whole OpenMP
+// 4.0 offload story: one construct, no overlap.
+func (o *OMP) Target(dev int, kernel string, args []int64, cost platform.Cost, maps ...Map) error {
+	o.API.Hit("omp target")
+	s, err := o.stream(dev)
+	if err != nil {
+		return err
+	}
+	if _, err := o.enters(s, maps); err != nil {
+		return err
+	}
+	if _, err := s.EnqueueCompute(kernel, args, operandsOf(maps), cost); err != nil {
+		return err
+	}
+	if _, err := o.exits(s, maps); err != nil {
+		return err
+	}
+	return s.Synchronize()
+}
+
+// TargetNowait is `#pragma omp target nowait depend(...)` (4.5 only):
+// asynchronous offload whose ordering is carried by the returned
+// action and the depend list.
+func (o *OMP) TargetNowait(dev int, kernel string, args []int64, cost platform.Cost, depend []*core.Action, maps ...Map) (*core.Action, error) {
+	o.API.Hit("omp target nowait")
+	if o.Version < V45 {
+		return nil, ErrNeed45
+	}
+	s, err := o.stream(dev)
+	if err != nil {
+		return nil, err
+	}
+	if len(depend) > 0 {
+		if _, err := s.EnqueueEventWait(depend...); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := o.enters(s, maps); err != nil {
+		return nil, err
+	}
+	a, err := s.EnqueueCompute(kernel, args, operandsOf(maps), cost)
+	if err != nil {
+		return nil, err
+	}
+	if last, err := o.exits(s, maps); err != nil {
+		return nil, err
+	} else if last != nil {
+		a = last
+	}
+	return a, nil
+}
+
+// TargetEnterData is `#pragma omp target enter data map(to:...)`:
+// synchronous on 4.0; asynchronous with nowait on 4.5.
+func (o *OMP) TargetEnterData(dev int, nowait bool, maps ...Map) (*core.Action, error) {
+	o.API.Hit("omp target enter data")
+	if nowait && o.Version < V45 {
+		return nil, ErrNeed45
+	}
+	s, err := o.stream(dev)
+	if err != nil {
+		return nil, err
+	}
+	last, err := o.enters(s, maps)
+	if err != nil {
+		return nil, err
+	}
+	if !nowait {
+		return last, s.Synchronize()
+	}
+	return last, nil
+}
+
+// TargetExitData is `#pragma omp target exit data map(from:...)`.
+func (o *OMP) TargetExitData(dev int, nowait bool, maps ...Map) (*core.Action, error) {
+	o.API.Hit("omp target exit data")
+	if nowait && o.Version < V45 {
+		return nil, ErrNeed45
+	}
+	s, err := o.stream(dev)
+	if err != nil {
+		return nil, err
+	}
+	last, err := o.exits(s, maps)
+	if err != nil {
+		return nil, err
+	}
+	if !nowait {
+		return last, s.Synchronize()
+	}
+	return last, nil
+}
+
+// Taskwait is `#pragma omp taskwait`: the host blocks until all
+// outstanding device tasks complete.
+func (o *OMP) Taskwait() {
+	o.API.Hit("omp taskwait")
+	o.RT.ThreadSynchronize()
+}
+
+// DeviceCount mirrors omp_get_num_devices.
+func (o *OMP) DeviceCount() int {
+	o.API.Hit("omp_get_num_devices")
+	return len(o.devStreams)
+}

@@ -1,0 +1,297 @@
+package ompss
+
+import (
+	"hstreams/internal/core"
+	"hstreams/internal/cudasim"
+	"hstreams/internal/platform"
+)
+
+// Submit schedules a task with declared operands (the #pragma omp
+// task in/out/inout of OmpSs). The runtime picks the device by data
+// affinity, picks a stream round-robin, moves stale data, enforces
+// dependences, and issues everything asynchronously. The returned
+// task completes when the kernel does.
+func (r *Runtime) Submit(kernel string, scalars []int64, args []Arg, cost platform.Cost) (*Task, error) {
+	r.API.Hit("ompss_task_submit")
+	if r.done {
+		return nil, ErrFinished
+	}
+	if len(args) == 0 {
+		return nil, ErrBadAccess
+	}
+	// Dynamic task instantiation and dependence analysis cost time on
+	// the source thread; dispatch latency rides the task itself —
+	// the price of OmpSs's conveniences (§III).
+	r.Core().ChargeSource(r.overhead)
+	cost.Extra += r.dispatch
+
+	dev := r.pickDevice(args)
+
+	// Gather dependences from the declared accesses.
+	var deps []taskRef
+	for _, a := range args {
+		reg := a.R
+		if a.Acc != Out { // read: after last writer (RAW)
+			if reg.lastWriter.act != nil {
+				deps = append(deps, reg.lastWriter)
+			}
+		}
+		if a.Acc != In { // write: after last writer (WAW) and readers (WAR)
+			if reg.lastWriter.act != nil {
+				deps = append(deps, reg.lastWriter)
+			}
+			deps = append(deps, reg.readersSince...)
+		}
+	}
+
+	// Stream choice: follow the OUTPUT chain — schedule onto the
+	// stream that last wrote this task's first written region, so
+	// successive updates of one datum serialize in-stream for free
+	// while independent chains spread round-robin. (Following input
+	// dependences instead would collapse fan-out graphs like tiled
+	// Cholesky into a single stream.)
+	sIdx := -1
+	for _, a := range args {
+		if a.Acc == In {
+			continue
+		}
+		if lw := a.R.lastWriter; lw.act != nil && lw.dev == dev && !lw.act.Completed() {
+			sIdx = lw.stream
+		}
+		break
+	}
+	if sIdx < 0 {
+		sIdx = r.rr[dev] % r.cfg.StreamsPerDevice
+		r.rr[dev]++
+	}
+
+	// Stage data the task reads onto the chosen device.
+	for _, a := range args {
+		if a.Acc == Out {
+			if err := r.ensureAlloc(a.R, dev); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := r.stage(a.R, dev, sIdx, &deps); err != nil {
+			return nil, err
+		}
+	}
+
+	ref, err := r.launch(kernel, scalars, args, cost, dev, sIdx, deps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Update the access history.
+	for _, a := range args {
+		reg := a.R
+		if a.Acc == In {
+			reg.readersSince = append(reg.readersSince, ref)
+			continue
+		}
+		reg.lastWriter = ref
+		reg.readersSince = nil
+		reg.freshOn = dev
+		reg.validOn = map[int]bool{dev: true}
+		reg.stagedBy = map[int]taskRef{}
+	}
+	return &Task{Act: ref.act, Dev: dev}, nil
+}
+
+// pickDevice scores devices by how many operands are already valid
+// there (data-affinity scheduling), breaking ties round-robin.
+func (r *Runtime) pickDevice(args []Arg) int {
+	best, bestScore := -1, -1
+	n := r.Devices()
+	for i := 0; i < n; i++ {
+		dev := (r.devRR + i) % n
+		score := 0
+		for _, a := range args {
+			if a.R.validOn[dev] {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = dev, score
+		}
+	}
+	r.devRR++
+	return best
+}
+
+// ensureAlloc lazily allocates the region's instance on dev (CUDA
+// back end keeps one pointer per device address space).
+func (r *Runtime) ensureAlloc(reg *Region, dev int) error {
+	if r.cu == nil || reg.ptrs[dev] != nil {
+		return nil
+	}
+	p, err := r.cu.Malloc(dev, reg.size)
+	if err != nil {
+		return err
+	}
+	reg.ptrs[dev] = p
+	return nil
+}
+
+// stage makes reg valid on dev, enqueueing the needed transfers and
+// appending their completion to deps.
+func (r *Runtime) stage(reg *Region, dev, sIdx int, deps *[]taskRef) error {
+	if err := r.ensureAlloc(reg, dev); err != nil {
+		return err
+	}
+	if reg.validOn[dev] {
+		// An earlier task's staging transfer may still be in flight
+		// in another stream; this task must wait for it.
+		if st, ok := reg.stagedBy[dev]; ok && st.act != nil && !st.act.Completed() {
+			*deps = append(*deps, st)
+		}
+		return nil
+	}
+	// If another device holds the freshest copy, pull it home first
+	// (cards only talk to the host, as in the paper's Cholesky).
+	if reg.freshOn >= 0 && reg.freshOn != dev {
+		pull, err := r.xfer(reg, reg.freshOn, reg.lastWriter.stream, core.ToSource, reg.lastWriter)
+		if err != nil {
+			return err
+		}
+		reg.freshOn = -1
+		reg.lastWriter = pull
+	}
+	// Push host copy out to dev on the task's stream.
+	push, err := r.xfer(reg, dev, sIdx, core.ToSink, reg.lastWriter)
+	if err != nil {
+		return err
+	}
+	reg.validOn[dev] = true
+	reg.stagedBy[dev] = push
+	*deps = append(*deps, push)
+	return nil
+}
+
+// xfer enqueues one transfer for reg on (dev, stream sIdx) in the
+// given direction, ordered after the `after` task if it lives in a
+// different stream.
+func (r *Runtime) xfer(reg *Region, dev, sIdx int, dir core.XferDir, after taskRef) (taskRef, error) {
+	if r.hs != nil {
+		s := r.hsStreams[dev][sIdx]
+		var deps []*core.Action
+		if after.act != nil && (after.dev != dev || after.stream != sIdx) {
+			deps = append(deps, after.act)
+		}
+		r.API.Hit("hStreams_EnqueueData")
+		a, err := s.EnqueueXferDeps(reg.buf, 0, reg.size, dir, deps)
+		if err != nil {
+			return taskRef{}, err
+		}
+		return taskRef{act: a, dev: dev, stream: sIdx}, nil
+	}
+	// CUDA back end: cross-stream ordering requires an explicit
+	// event recorded in the producer stream.
+	st := r.cuStreams[dev][sIdx]
+	if after.act != nil && (after.dev != dev || after.stream != sIdx) {
+		if err := r.cudaWait(st, after); err != nil {
+			return taskRef{}, err
+		}
+	}
+	var a *core.Action
+	var err error
+	if dir == core.ToSink {
+		a, err = st.MemcpyH2DAsync(reg.ptrs[dev], 0, reg.size)
+	} else {
+		a, err = st.MemcpyD2HAsync(reg.ptrs[dev], 0, reg.size)
+	}
+	if err != nil {
+		return taskRef{}, err
+	}
+	return taskRef{act: a, dev: dev, stream: sIdx}, nil
+}
+
+// cudaWait makes st wait for `after` using an event recorded in the
+// producer's stream — the explicit enforcement hStreams avoids.
+func (r *Runtime) cudaWait(st *cudasim.Stream, after taskRef) error {
+	ev := r.cu.EventCreate()
+	src := r.cuStreams[after.dev][after.stream]
+	if err := src.Record(ev); err != nil {
+		return err
+	}
+	return st.WaitEvent(ev)
+}
+
+// launch enqueues the compute with dependences enforced.
+func (r *Runtime) launch(kernel string, scalars []int64, args []Arg, cost platform.Cost, dev, sIdx int, deps []taskRef) (taskRef, error) {
+	if r.hs != nil {
+		s := r.hsStreams[dev][sIdx]
+		// Cross-stream dependences attach to this action only —
+		// later independent work in the stream is unaffected.
+		// In-stream dependences come free from the FIFO semantic +
+		// operand overlap: the hStreams advantage (§IV).
+		var cross []*core.Action
+		for _, d := range deps {
+			if d.dev != dev || d.stream != sIdx {
+				cross = append(cross, d.act)
+			}
+		}
+		ops := make([]core.Operand, len(args))
+		for i, a := range args {
+			acc := core.InOut
+			switch a.Acc {
+			case In:
+				acc = core.In
+			case Out:
+				acc = core.Out
+			}
+			ops[i] = a.R.buf.Range(0, a.R.size, acc)
+		}
+		r.API.Hit("hStreams_EnqueueCompute")
+		act, err := s.EnqueueComputeDeps(kernel, scalars, ops, cost, cross)
+		if err != nil {
+			return taskRef{}, err
+		}
+		return taskRef{act: act, dev: dev, stream: sIdx}, nil
+	}
+	st := r.cuStreams[dev][sIdx]
+	for _, d := range deps {
+		if d.dev != dev || d.stream != sIdx {
+			if err := r.cudaWait(st, d); err != nil {
+				return taskRef{}, err
+			}
+		}
+	}
+	cargs := make([]cudasim.Arg, len(args))
+	for i, a := range args {
+		cargs[i] = cudasim.Arg{Ptr: a.R.ptrs[dev], Off: 0, Len: a.R.size}
+	}
+	act, err := st.Launch(kernel, scalars, cargs, cost)
+	if err != nil {
+		return taskRef{}, err
+	}
+	return taskRef{act: act, dev: dev, stream: sIdx}, nil
+}
+
+// Taskwait blocks until every submitted task (and implicit transfer)
+// completes.
+func (r *Runtime) Taskwait() {
+	r.API.Hit("ompss_taskwait")
+	r.Core().ThreadSynchronize()
+}
+
+// SyncToHost pulls the region's freshest copy back to the host
+// (hStreams back end; used by Real-mode correctness tests) and blocks
+// until it lands.
+func (r *Runtime) SyncToHost(reg *Region) error {
+	r.API.Hit("ompss_sync_data")
+	if reg.freshOn < 0 || r.hs == nil {
+		return nil
+	}
+	pull, err := r.xfer(reg, reg.freshOn, reg.lastWriter.stream, core.ToSource, reg.lastWriter)
+	if err != nil {
+		return err
+	}
+	if err := pull.act.Wait(); err != nil {
+		return err
+	}
+	reg.freshOn = -1
+	reg.lastWriter = pull
+	return nil
+}

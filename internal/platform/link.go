@@ -1,0 +1,83 @@
+package platform
+
+import "time"
+
+// LinkSpec models one interconnect between two domains — in the
+// paper's testbed, a PCIe gen-2/3 link carrying SCIF DMA traffic
+// between host and coprocessor. Each direction is independent
+// (full duplex), which the executors model as separate resources.
+type LinkSpec struct {
+	Name string
+	// BWGBs is the sustained DMA bandwidth per direction.
+	BWGBs float64
+	// SmallOverhead is the fixed per-transfer cost that dominates
+	// small messages. The paper reports 20–30 µs for transfers under
+	// 128 KB (§III).
+	SmallOverhead time.Duration
+	// LargeOverhead is the residual per-transfer cost once DMA
+	// descriptors are pipelined; the paper reports total overhead
+	// under 5 % for transfers of 1 MB and up.
+	LargeOverhead time.Duration
+	// SmallLimit is the transfer size below which SmallOverhead
+	// applies in full.
+	SmallLimit int64
+}
+
+// PCIe returns the link model calibrated to the paper's overhead
+// observations (§III).
+func PCIe() *LinkSpec {
+	return &LinkSpec{
+		Name:          "pcie",
+		BWGBs:         6.8,
+		SmallOverhead: 25 * time.Microsecond,
+		LargeOverhead: 6 * time.Microsecond,
+		SmallLimit:    128 << 10,
+	}
+}
+
+// Fabric returns an inter-node interconnect model: the "offload over
+// fabric" path COI was growing when the paper was written (§III —
+// "COI supports offload over fabric, and could be built on top of
+// MPI, TCP, Omni-path, PGAS…"). Higher latency and lower bandwidth
+// than PCIe.
+func Fabric() *LinkSpec {
+	return &LinkSpec{
+		Name:          "fabric",
+		BWGBs:         3.0,
+		SmallOverhead: 60 * time.Microsecond,
+		LargeOverhead: 15 * time.Microsecond,
+		SmallLimit:    128 << 10,
+	}
+}
+
+// Setup returns the fixed overhead charged for a transfer of the
+// given size: SmallOverhead up to SmallLimit, then amortizing
+// hyperbolically down to LargeOverhead.
+func (l *LinkSpec) Setup(bytes int64) time.Duration {
+	if bytes <= l.SmallLimit {
+		return l.SmallOverhead
+	}
+	amortized := time.Duration(float64(l.SmallOverhead) * float64(l.SmallLimit) / float64(bytes))
+	if amortized < l.LargeOverhead {
+		return l.LargeOverhead
+	}
+	return amortized
+}
+
+// TransferTime models moving bytes across one direction of the link.
+func (l *LinkSpec) TransferTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return l.Setup(1)
+	}
+	dma := time.Duration(float64(bytes) / (l.BWGBs * 1e9) * float64(time.Second))
+	return l.Setup(bytes) + dma
+}
+
+// Overhead reports the fraction of TransferTime that is not raw DMA.
+func (l *LinkSpec) Overhead(bytes int64) float64 {
+	total := l.TransferTime(bytes)
+	if total <= 0 {
+		return 0
+	}
+	return float64(l.Setup(bytes)) / float64(total)
+}

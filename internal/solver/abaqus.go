@@ -1,0 +1,141 @@
+package solver
+
+import (
+	"time"
+
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+	"hstreams/internal/workload"
+)
+
+// OffloadThreshold is the smallest supernode worth sending to the
+// cards: below it, transfer and invocation costs eat the gain and the
+// front stays on the host.
+const OffloadThreshold = 4800
+
+// solverTile picks the tile size for a supernode.
+func solverTile(n int) int {
+	t := n / 8
+	if t > 2400 {
+		t = 2400
+	}
+	if t < 300 {
+		t = 300
+	}
+	for n%t != 0 {
+		t--
+	}
+	return t
+}
+
+// AppSpeedup is one Fig. 8 data point.
+type AppSpeedup struct {
+	Workload string
+	// Solver is the solver-kernel speedup from adding the cards.
+	Solver float64
+	// App is the whole-application speedup (Amdahl over the
+	// workload's solver fraction).
+	App float64
+	// BaselineSolver and AccelSolver are the underlying times.
+	BaselineSolver, AccelSolver time.Duration
+}
+
+// Fig8Speedup measures one workload on one host platform: baseline is
+// host-only; accelerated adds the machine's cards for supernodes
+// above OffloadThreshold (§V: "Only the solver is offloaded to the
+// MIC cards").
+func Fig8Speedup(machine *platform.Machine, mode core.Mode, w workload.Abaqus) (AppSpeedup, error) {
+	hostOnly := Target{
+		UseHost:            true,
+		HostStreams:        3,
+		HostCoresPerStream: machine.Host.Cores() / 3,
+		PanelOnHost:        true,
+	}
+	hetero := Target{
+		UseHost:            true,
+		HostStreams:        3,
+		HostCoresPerStream: machine.Host.Cores() / 3,
+		CardStreams:        4,
+		PanelOnHost:        true,
+	}
+	hostMachine := platform.NewMachine(machine.Name+"-base", machine.Host, 0, machine.Host, machine.Link)
+
+	var base, accel time.Duration
+	for _, n := range w.Supernodes {
+		tile := solverTile(n)
+		b, err := Factor(hostMachine, mode, n, tile, hostOnly, false, 0)
+		if err != nil {
+			return AppSpeedup{}, err
+		}
+		base += b.Seconds
+		if n >= OffloadThreshold && len(machine.Cards) > 0 {
+			h, err := Factor(machine, mode, n, tile, hetero, false, 0)
+			if err != nil {
+				return AppSpeedup{}, err
+			}
+			accel += h.Seconds
+		} else {
+			accel += b.Seconds
+		}
+	}
+	solverSpeedup := base.Seconds() / accel.Seconds()
+	f := w.SolverFraction
+	appSpeedup := 1 / (f/solverSpeedup + (1 - f))
+	return AppSpeedup{
+		Workload:       w.Name,
+		Solver:         solverSpeedup,
+		App:            appSpeedup,
+		BaselineSolver: base,
+		AccelSolver:    accel,
+	}, nil
+}
+
+// Fig9Config reproduces the paper's standalone-test stream layouts:
+// 4 streams × 15 cores (60 threads) on KNC, 3 × 9 on HSW, 3 × 7 on
+// IVB.
+type Fig9Config struct {
+	Label  string
+	Mach   *platform.Machine
+	Target Target
+}
+
+// Fig9N is the representative supernode edge used by the standalone
+// program reproduction; chosen so the modeled HSW host-as-target run
+// lands near the paper's 2.24 s.
+const Fig9N = 16500
+
+// Fig9Tile is the supernode tiling for Fig. 9 runs.
+const Fig9Tile = 1650
+
+// Fig9Cases returns the three standalone-test configurations.
+func Fig9Cases() []Fig9Config {
+	return []Fig9Config{
+		{
+			Label: "KNC offload",
+			Mach:  platform.HSWPlusKNC(1),
+			Target: Target{
+				CardStreams: 4,
+			},
+		},
+		{
+			Label: "HSW host-as-target",
+			Mach:  platform.HSWPlusKNC(0),
+			Target: Target{
+				UseHost:            true,
+				HostStreams:        3,
+				HostCoresPerStream: 9,
+				PanelOnHost:        true,
+			},
+		},
+		{
+			Label: "IVB host-as-target",
+			Mach:  platform.IVBPlusKNC(0),
+			Target: Target{
+				UseHost:            true,
+				HostStreams:        3,
+				HostCoresPerStream: 7,
+				PanelOnHost:        true,
+			},
+		},
+	}
+}

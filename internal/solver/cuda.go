@@ -1,0 +1,245 @@
+package solver
+
+import (
+	"time"
+
+	"hstreams/internal/core"
+	"hstreams/internal/cudasim"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/kernels"
+	"hstreams/internal/matrix"
+	"hstreams/internal/platform"
+)
+
+// CUDAFactor runs the same tiled LDLᵀ supernode factorization through
+// CUDA Streams on the machine's GPU — the back end Simulia uses for
+// NVidia targets (§V). Strict FIFO queues force every cross-stream
+// dependence through explicit events, and transfers cannot overtake
+// in-stream work; this is the comparison side of the paper's
+// "net effectiveness of parallelizing for a hetero platform"
+// normalization experiment (§VI).
+func CUDAFactor(machine *platform.Machine, mode core.Mode, n, tile, nStreams int) (Result, error) {
+	if n%tile != 0 {
+		return Result{}, ErrBadTiling
+	}
+	nt := n / tile
+	tbytes := kernels.TileBytes(tile)
+	cu, err := cudasim.Init(machine, mode)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cu.Fini()
+	if mode == core.ModeReal {
+		kernels.Register(cu.RT)
+	}
+	dev, err := cu.Malloc(0, int64(nt*nt)*tbytes)
+	if err != nil {
+		return Result{}, err
+	}
+	if mode == core.ModeReal {
+		// Stage a factorizable (diagonally dominant symmetric) matrix.
+		sym := matrix.RandSymIndefinite(n, 11)
+		stage := floatbits.Float64s(dev.HostStage())
+		for tj := 0; tj < nt; tj++ {
+			for ti := 0; ti < nt; ti++ {
+				t := stage[(int64(tj)*int64(nt)+int64(ti))*int64(tile*tile):]
+				for jj := 0; jj < tile; jj++ {
+					for ii := 0; ii < tile; ii++ {
+						t[ii+jj*tile] = sym.At(ti*tile+ii, tj*tile+jj)
+					}
+				}
+			}
+		}
+	}
+	streams := make([]*cudasim.Stream, nStreams)
+	for i := range streams {
+		if streams[i], err = cu.StreamCreate(0); err != nil {
+			return Result{}, err
+		}
+	}
+	off := func(i, j int) int64 { return kernels.TileOff(i, j, nt, tile) }
+	arg := func(i, j int) cudasim.Arg { return cudasim.Arg{Ptr: dev, Off: off(i, j), Len: tbytes} }
+
+	// Per-tile bookkeeping: which stream last produced the tile and
+	// the event recorded after it (CUDA requires the event objects
+	// explicitly, unlike hStreams where every action is one).
+	type prod struct {
+		st *cudasim.Stream
+		ev *cudasim.Event
+	}
+	last := map[[2]int]prod{}
+	sent := map[[2]int]bool{}
+	// ensureOn stages the tile (first use) and returns after making
+	// st wait on the tile's producer if it lives in another stream.
+	ensureOn := func(st *cudasim.Stream, i, j int) error {
+		k := [2]int{i, j}
+		if !sent[k] {
+			if _, err := st.MemcpyH2DAsync(dev, off(i, j), tbytes); err != nil {
+				return err
+			}
+			ev := cu.EventCreate()
+			if err := st.Record(ev); err != nil {
+				return err
+			}
+			last[k] = prod{st, ev}
+			sent[k] = true
+			return nil
+		}
+		if p, ok := last[k]; ok && p.st != st {
+			return st.WaitEvent(p.ev)
+		}
+		return nil
+	}
+	// produced records the tile's new producer with a fresh event.
+	produced := func(st *cudasim.Stream, i, j int) error {
+		ev := cu.EventCreate()
+		if err := st.Record(ev); err != nil {
+			return err
+		}
+		last[[2]int{i, j}] = prod{st, ev}
+		sent[[2]int{i, j}] = true
+		return nil
+	}
+	pick := func(i, j int) *cudasim.Stream { return streams[(i*31+j)%nStreams] }
+
+	tb64 := int64(tile)
+	start := cu.RT.Now()
+	for k := 0; k < nt; k++ {
+		st := pick(k, k)
+		if err := ensureOn(st, k, k); err != nil {
+			return Result{}, err
+		}
+		if _, err := st.Launch(kernels.LdltPanel, []int64{tb64, 64},
+			[]cudasim.Arg{arg(k, k)}, kernels.LdltCost(tile)); err != nil {
+			return Result{}, err
+		}
+		if err := produced(st, k, k); err != nil {
+			return Result{}, err
+		}
+		for i := k + 1; i < nt; i++ {
+			s := pick(i, k)
+			for _, tl := range [][2]int{{k, k}, {i, k}} {
+				if err := ensureOn(s, tl[0], tl[1]); err != nil {
+					return Result{}, err
+				}
+			}
+			if _, err := s.Launch(kernels.LdltSolve, []int64{tb64, tb64},
+				[]cudasim.Arg{arg(k, k), arg(i, k)}, kernels.TrsmCost(tile, tile)); err != nil {
+				return Result{}, err
+			}
+			if err := produced(s, i, k); err != nil {
+				return Result{}, err
+			}
+		}
+		for i := k + 1; i < nt; i++ {
+			for j := k + 1; j <= i; j++ {
+				s := pick(i, j)
+				for _, tl := range [][2]int{{i, k}, {k, k}, {j, k}, {i, j}} {
+					if err := ensureOn(s, tl[0], tl[1]); err != nil {
+						return Result{}, err
+					}
+				}
+				if _, err := s.Launch(kernels.LdltUpdate, []int64{tb64, tb64, tb64},
+					[]cudasim.Arg{arg(i, k), arg(k, k), arg(j, k), arg(i, j)},
+					kernels.GemmCost(tile, tile, tile)); err != nil {
+					return Result{}, err
+				}
+				if err := produced(s, i, j); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+	// Factored columns back to the host.
+	for j := 0; j < nt; j++ {
+		for i := j; i < nt; i++ {
+			s := pick(i, j)
+			if p, ok := last[[2]int{i, j}]; ok && p.st != s {
+				if err := s.WaitEvent(p.ev); err != nil {
+					return Result{}, err
+				}
+			}
+			if _, err := s.MemcpyD2HAsync(dev, off(i, j), tbytes); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	cu.DeviceSynchronize()
+	if err := cu.RT.Err(); err != nil {
+		return Result{}, err
+	}
+	elapsed := cu.RT.Now() - start
+	flops := float64(n) * float64(n) * float64(n) / 3
+	return Result{Seconds: elapsed, GFlops: platform.GFlops(flops, elapsed)}, nil
+}
+
+// StreamingComparison reproduces the §VI Simulia normalization
+// experiment for one supernode size: the hStreams formulation drives
+// a KNC, the CUDA Streams formulation drives a K40x, and the
+// comparison is made both raw and normalized to card-side kernel
+// performance (VTune-style busy-time sums in the paper; trace busy
+// time here).
+type StreamingComparison struct {
+	HStreamsSeconds, CUDASeconds time.Duration
+	// RawK40Advantage > 1 means the K40x finished sooner (the paper:
+	// 1.12–1.27× across workloads).
+	RawK40Advantage float64
+	// NormalizedKNCAdvantage > 1 means hStreams used its card more
+	// effectively once hardware speed is factored out (the paper:
+	// 1.03–1.28×).
+	NormalizedKNCAdvantage float64
+}
+
+// CompareStreaming runs one supernode through both streaming stacks.
+func CompareStreaming(mode core.Mode, n, tile int) (StreamingComparison, error) {
+	knc := platform.HSWPlusKNC(1)
+	hres, err := Factor(knc, mode, n, tile, Target{CardStreams: 4}, false, 0)
+	if err != nil {
+		return StreamingComparison{}, err
+	}
+	hBusy := cardBusy(platform.KNC(), n, tile)
+
+	k40 := platform.HSWPlusK40(1)
+	cres, err := CUDAFactor(k40, mode, n, tile, 4)
+	if err != nil {
+		return StreamingComparison{}, err
+	}
+	cBusy := cardBusy(platform.K40x(), n, tile)
+
+	// raw > 1 ⇒ the K40x run finished sooner.
+	raw := hres.Seconds.Seconds() / cres.Seconds.Seconds()
+	// hwRatio > 1 ⇒ the KNC's kernels are that much slower in sum.
+	hwRatio := hBusy.Seconds() / cBusy.Seconds()
+	// If KNC kernels are hwRatio× slower but the end-to-end run is
+	// only raw× slower, the hStreams schedule recovered the
+	// difference — the paper's "normalized to card-side performance"
+	// KNC advantage.
+	normalized := hwRatio / raw
+	return StreamingComparison{
+		HStreamsSeconds:        hres.Seconds,
+		CUDASeconds:            cres.Seconds,
+		RawK40Advantage:        raw,
+		NormalizedKNCAdvantage: normalized,
+	}, nil
+}
+
+// cardBusy returns the summed full-width kernel time of the
+// factorization's kernels on the given card — the paper's
+// normalization quantity ("sum of work and OpenMP times on all
+// threads/240 threads" via VTune for KNC, "sum of kernel times, as
+// reported by nvprof" for the K40x). Full width makes the quantity a
+// property of the hardware + kernel mix, independent of the stream
+// partition the runtime chose.
+func cardBusy(card *platform.DomainSpec, n, tile int) time.Duration {
+	nt := n / tile
+	var busy time.Duration
+	for k := 0; k < nt; k++ {
+		busy += platform.ComputeTime(card, card.Cores(), kernels.LdltCost(tile))
+		for i := k + 1; i < nt; i++ {
+			busy += platform.ComputeTime(card, card.Cores(), kernels.TrsmCost(tile, tile))
+		}
+		rem := nt - k - 1
+		busy += time.Duration(rem*(rem+1)/2) * platform.ComputeTime(card, card.Cores(), kernels.GemmCost(tile, tile, tile))
+	}
+	return busy
+}

@@ -1,0 +1,269 @@
+package solver
+
+import (
+	"math/rand"
+	"time"
+
+	"hstreams/internal/app"
+	"hstreams/internal/core"
+	"hstreams/internal/kernels"
+	"hstreams/internal/matrix"
+	"hstreams/internal/platform"
+)
+
+// Front is one supernode in a multifrontal elimination tree: the
+// paper's "full production solver processes all of the supernodes in
+// a given system of equations in an optimized order" (§V). Children
+// must be factorized before their parent (their Schur complements
+// assemble into it); independent subtrees carry no ordering — the
+// task concurrency the streaming runtime exploits.
+type Front struct {
+	// N is the dense supernode edge.
+	N int
+	// Children are the fronts whose contributions assemble here.
+	Children []*Front
+}
+
+// Flops returns the total factorization work of the subtree.
+func (f *Front) Flops() float64 {
+	total := float64(f.N) * float64(f.N) * float64(f.N) / 3
+	for _, c := range f.Children {
+		total += c.Flops()
+	}
+	return total
+}
+
+// Count returns the number of fronts in the subtree.
+func (f *Front) Count() int {
+	n := 1
+	for _, c := range f.Children {
+		n += c.Count()
+	}
+	return n
+}
+
+// RandomForest generates a synthetic elimination tree: fronts grow
+// toward the root (as in real multifrontal factorizations, where the
+// root supernode is the dense bottleneck).
+func RandomForest(seed int64, depth, fanout, rootN int) *Front {
+	rng := rand.New(rand.NewSource(seed))
+	var build func(level, n int) *Front
+	build = func(level, n int) *Front {
+		f := &Front{N: n}
+		if level == 0 {
+			return f
+		}
+		for c := 0; c < fanout; c++ {
+			childN := n/2 + rng.Intn(n/4+1)
+			childN = childN / 300 * 300
+			if childN < 600 {
+				childN = 600
+			}
+			f.Children = append(f.Children, build(level-1, childN))
+		}
+		return f
+	}
+	return build(depth, rootN)
+}
+
+// ForestConfig describes a forest factorization run.
+type ForestConfig struct {
+	Root *Front
+	// Tile used within each front (front sizes are rounded to it).
+	Tile int
+	// CardStreams per card (default 4).
+	CardStreams int
+}
+
+// ForestResult summarizes a run.
+type ForestResult struct {
+	Seconds time.Duration
+	GFlops  float64
+	Fronts  int
+}
+
+// FactorForest factorizes the elimination tree on the machine's
+// cards: each front runs entirely within one domain (distributed over
+// its streams), fronts round-robin over cards, and parent fronts wait
+// on their children through explicit events — independent subtrees
+// overlap freely.
+func FactorForest(machine *platform.Machine, mode core.Mode, cfg ForestConfig) (ForestResult, error) {
+	if cfg.CardStreams <= 0 {
+		cfg.CardStreams = 4
+	}
+	a, err := app.Init(app.Options{
+		Machine:        machine,
+		Mode:           mode,
+		StreamsPerCard: cfg.CardStreams,
+	})
+	if err != nil {
+		return ForestResult{}, err
+	}
+	defer a.Fini()
+	rt := a.RT
+	if mode == core.ModeReal {
+		kernels.Register(rt)
+	}
+	doms := a.ComputeDomains()
+	if len(doms) == 0 {
+		return ForestResult{}, app.ErrNoStreams
+	}
+
+	start := rt.Now()
+	next := 0
+	var schedule func(f *Front) (*core.Action, error)
+	schedule = func(f *Front) (*core.Action, error) {
+		// Children first (they may land on different cards and run
+		// concurrently).
+		var deps []*core.Action
+		for _, c := range f.Children {
+			done, err := schedule(c)
+			if err != nil {
+				return nil, err
+			}
+			deps = append(deps, done)
+		}
+		d := doms[next%len(doms)]
+		next++
+		return factorFrontInDomain(a, d, f.N, cfg.Tile, deps)
+	}
+	final, err := schedule(cfg.Root)
+	if err != nil {
+		return ForestResult{}, err
+	}
+	if err := final.Wait(); err != nil {
+		return ForestResult{}, err
+	}
+	rt.ThreadSynchronize()
+	if err := rt.Err(); err != nil {
+		return ForestResult{}, err
+	}
+	elapsed := rt.Now() - start
+	return ForestResult{
+		Seconds: elapsed,
+		GFlops:  platform.GFlops(cfg.Root.Flops(), elapsed),
+		Fronts:  cfg.Root.Count(),
+	}, nil
+}
+
+// factorFrontInDomain enqueues one front's tiled LDLᵀ entirely within
+// domain d, spread over its streams, entered only after deps (the
+// children's completions) and returning the action whose completion
+// marks the front done (its pull-back to the host).
+func factorFrontInDomain(a *app.App, d *core.Domain, n, tile int, deps []*core.Action) (*core.Action, error) {
+	rt := a.RT
+	for n%tile != 0 {
+		n += 300 // round up to the tiling
+	}
+	nt := n / tile
+	tbytes := kernels.TileBytes(tile)
+	buf, err := rt.Alloc1D("front", int64(nt*nt)*tbytes)
+	if err != nil {
+		return nil, err
+	}
+	if rt.Mode() == core.ModeReal {
+		// Fill a factorizable (diagonally dominant symmetric) front
+		// before the push below can read the host instance.
+		sym := matrix.RandSymIndefinite(n, int64(n))
+		packTiles(buf.HostFloat64s(), sym, nt, tile)
+	}
+	// Whole-front push, gated on the children. Everything after
+	// orders against it by operand overlap.
+	s0, err := a.NextStream(d)
+	if err != nil {
+		return nil, err
+	}
+	push, err := s0.EnqueueXferDeps(buf, 0, buf.Size(), core.ToSink, deps)
+	if err != nil {
+		return nil, err
+	}
+	type tstate struct {
+		last   *core.Action
+		stream *core.Stream
+	}
+	states := map[[2]int]*tstate{}
+	st := func(i, j int) *tstate {
+		k := [2]int{i, j}
+		t, ok := states[k]
+		if !ok {
+			// Every tile's first consumer must see the staging push,
+			// which may live in a different stream.
+			t = &tstate{last: push, stream: s0}
+			states[k] = t
+		}
+		return t
+	}
+	off := func(i, j int) int64 { return kernels.TileOff(i, j, nt, tile) }
+	dep := func(ds []*core.Action, t *tstate, s *core.Stream) []*core.Action {
+		if t.last != nil && t.stream != s && !t.last.Completed() {
+			ds = append(ds, t.last)
+		}
+		return ds
+	}
+	tb := int64(tile)
+	for k := 0; k < nt; k++ {
+		s, err := a.NextStream(d)
+		if err != nil {
+			return nil, err
+		}
+		ds := dep(nil, st(k, k), s)
+		panel, err := s.EnqueueComputeDeps(kernels.LdltPanel, []int64{tb, 64},
+			[]core.Operand{buf.Range(off(k, k), tbytes, core.InOut)},
+			kernels.LdltCost(tile), ds)
+		if err != nil {
+			return nil, err
+		}
+		*st(k, k) = tstate{panel, s}
+		for i := k + 1; i < nt; i++ {
+			s, err := a.NextStream(d)
+			if err != nil {
+				return nil, err
+			}
+			ds := dep(nil, st(k, k), s)
+			ds = dep(ds, st(i, k), s)
+			solve, err := s.EnqueueComputeDeps(kernels.LdltSolve, []int64{tb, tb},
+				[]core.Operand{
+					buf.Range(off(k, k), tbytes, core.In),
+					buf.Range(off(i, k), tbytes, core.InOut),
+				}, kernels.TrsmCost(tile, tile), ds)
+			if err != nil {
+				return nil, err
+			}
+			*st(i, k) = tstate{solve, s}
+		}
+		for i := k + 1; i < nt; i++ {
+			for j := k + 1; j <= i; j++ {
+				s, err := a.NextStream(d)
+				if err != nil {
+					return nil, err
+				}
+				var ds []*core.Action
+				for _, tl := range [][2]int{{i, k}, {k, k}, {j, k}, {i, j}} {
+					ds = dep(ds, st(tl[0], tl[1]), s)
+				}
+				upd, err := s.EnqueueComputeDeps(kernels.LdltUpdate, []int64{tb, tb, tb},
+					[]core.Operand{
+						buf.Range(off(i, k), tbytes, core.In),
+						buf.Range(off(k, k), tbytes, core.In),
+						buf.Range(off(j, k), tbytes, core.In),
+						buf.Range(off(i, j), tbytes, core.InOut),
+					}, kernels.GemmCost(tile, tile, tile), ds)
+				if err != nil {
+					return nil, err
+				}
+				*st(i, j) = tstate{upd, s}
+			}
+		}
+	}
+	// One pull of the whole factored front; cross-stream producers
+	// become explicit deps, in-stream ones ride the FIFO semantic.
+	sOut, err := a.NextStream(d)
+	if err != nil {
+		return nil, err
+	}
+	var finalDeps []*core.Action
+	for _, t := range states {
+		finalDeps = dep(finalDeps, t, sOut)
+	}
+	return sOut.EnqueueXferDeps(buf, 0, buf.Size(), core.ToSource, finalDeps)
+}

@@ -1,0 +1,243 @@
+package solver
+
+import (
+	"testing"
+
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+	"hstreams/internal/workload"
+)
+
+func TestRealTiledLDLTHostCorrect(t *testing.T) {
+	target := Target{UseHost: true, HostStreams: 2, HostCoresPerStream: 4, PanelOnHost: true}
+	if _, err := Factor(platform.HSWPlusKNC(0), core.ModeReal, 48, 12, target, true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealTiledLDLTOffloadCorrect(t *testing.T) {
+	target := Target{CardStreams: 3}
+	if _, err := Factor(platform.HSWPlusKNC(1), core.ModeReal, 48, 12, target, true, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealTiledLDLTHeteroCorrect(t *testing.T) {
+	target := Target{UseHost: true, HostStreams: 2, HostCoresPerStream: 4, CardStreams: 2, PanelOnHost: true}
+	if _, err := Factor(platform.HSWPlusKNC(2), core.ModeReal, 60, 12, target, true, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadTiling(t *testing.T) {
+	if _, err := Factor(platform.HSWPlusKNC(0), core.ModeSim, 100, 7, Target{UseHost: true, HostStreams: 1, HostCoresPerStream: 4, PanelOnHost: true}, false, 0); err != ErrBadTiling {
+		t.Fatalf("err = %v, want ErrBadTiling", err)
+	}
+}
+
+// TestSimFig9Ratios checks the standalone supernode runtimes against
+// the paper's Fig. 9 shape: KNC offload ≈ HSW host-as-target (2.35 vs
+// 2.24 s), and IVB roughly twice HSW (4.27 s).
+func TestSimFig9Ratios(t *testing.T) {
+	times := map[string]float64{}
+	for _, c := range Fig9Cases() {
+		r, err := Factor(c.Mach, core.ModeSim, Fig9N, Fig9Tile, c.Target, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[c.Label] = r.Seconds.Seconds()
+	}
+	t.Logf("Fig 9 runtimes: KNC=%.2fs HSW=%.2fs IVB=%.2fs (paper: 2.35 / 2.24 / 4.27)",
+		times["KNC offload"], times["HSW host-as-target"], times["IVB host-as-target"])
+	kncOverHsw := times["KNC offload"] / times["HSW host-as-target"]
+	if kncOverHsw < 0.8 || kncOverHsw > 1.35 {
+		t.Fatalf("KNC/HSW ratio = %.2f, paper has ≈1.05", kncOverHsw)
+	}
+	ivbOverHsw := times["IVB host-as-target"] / times["HSW host-as-target"]
+	if ivbOverHsw < 1.5 || ivbOverHsw > 2.4 {
+		t.Fatalf("IVB/HSW ratio = %.2f, paper has ≈1.9", ivbOverHsw)
+	}
+	// Absolute scale: the calibration targets ~2.2 s for HSW.
+	if times["HSW host-as-target"] < 1.0 || times["HSW host-as-target"] > 4.5 {
+		t.Fatalf("HSW runtime %.2fs implausibly far from the paper's 2.24 s", times["HSW host-as-target"])
+	}
+}
+
+// TestSimFig8Bands reproduces Fig. 8's headline numbers: adding 2 MIC
+// cards speeds the solver kernel by up to ~2.6× on IVB and ~1.45× on
+// HSW, with application speedups lower (up to ~2.0× / ~1.2×), and
+// every speedup at least 1.
+func TestSimFig8Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole workload suite")
+	}
+	type platformCase struct {
+		name    string
+		machine *platform.Machine
+		// paper's maxima
+		maxSolver, maxApp float64
+	}
+	cases := []platformCase{
+		{"IVB", platform.IVBPlusKNC(2), 2.61, 1.99},
+		{"HSW", platform.HSWPlusKNC(2), 1.45, 1.22},
+	}
+	for _, pc := range cases {
+		var bestSolver, bestApp float64
+		for _, w := range workload.AbaqusSuite() {
+			sp, err := Fig8Speedup(pc.machine, core.ModeSim, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s %-4s: solver %.2f× app %.2f×", pc.name, w.Name, sp.Solver, sp.App)
+			if sp.Solver < 1.0 {
+				t.Errorf("%s %s: adding cards slowed the solver (%.2f×)", pc.name, w.Name, sp.Solver)
+			}
+			if sp.App > sp.Solver+1e-9 {
+				t.Errorf("%s %s: app speedup %.2f exceeds solver speedup %.2f", pc.name, w.Name, sp.App, sp.Solver)
+			}
+			if sp.Solver > bestSolver {
+				bestSolver = sp.Solver
+			}
+			if sp.App > bestApp {
+				bestApp = sp.App
+			}
+		}
+		// The maxima should land in the neighborhood of the paper's.
+		if bestSolver < pc.maxSolver*0.6 || bestSolver > pc.maxSolver*1.7 {
+			t.Errorf("%s best solver speedup %.2f× far from paper's %.2f×", pc.name, bestSolver, pc.maxSolver)
+		}
+	}
+}
+
+func TestWorkloadSuite(t *testing.T) {
+	suite := workload.AbaqusSuite()
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d workloads, want 8 (Fig. 8)", len(suite))
+	}
+	unsym := 0
+	for _, w := range suite {
+		if w.SolverFraction <= 0 || w.SolverFraction >= 1 {
+			t.Errorf("%s: solver fraction %v out of range", w.Name, w.SolverFraction)
+		}
+		if len(w.Supernodes) == 0 {
+			t.Errorf("%s: no supernodes", w.Name)
+		}
+		if w.Unsymmetric {
+			unsym++
+		}
+		share := w.FlopsShareAbove(OffloadThreshold)
+		if share < 0 || share > 1 {
+			t.Errorf("%s: bad flops share %v", w.Name, share)
+		}
+	}
+	if unsym == 0 {
+		t.Error("suite must include unsymmetric cases (paper: 'also unsymmetric cases')")
+	}
+	if (workload.Abaqus{}).FlopsShareAbove(1) != 0 {
+		t.Error("empty workload share must be 0")
+	}
+}
+
+func TestRealCUDAFactorRuns(t *testing.T) {
+	// The CUDA-Streams rendition must produce a working factorization
+	// too (strict FIFO + events are sufficient, just clumsier).
+	if _, err := CUDAFactor(platform.HSWPlusK40(1), core.ModeReal, 36, 12, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimStreamingComparison reproduces the §VI Simulia
+// normalization: raw, the faster K40x hardware wins; normalized to
+// card-side kernel performance, the hStreams formulation holds its
+// own ("the middle of these ranges is within a couple percent of
+// parity"). Paper: raw K40x advantage 1.12–1.27×, normalized KNC
+// advantage 1.03–1.28×.
+func TestSimStreamingComparison(t *testing.T) {
+	for _, n := range []int{9600, 13200} {
+		cmp, err := CompareStreaming(core.ModeSim, n, n/8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("n=%d: hStreams/KNC %v, CUDA/K40 %v, raw K40 advantage %.2f×, normalized KNC advantage %.2f×",
+			n, cmp.HStreamsSeconds, cmp.CUDASeconds, cmp.RawK40Advantage, cmp.NormalizedKNCAdvantage)
+		// "Comparable performance for radically-different targets":
+		// raw end-to-end within ±40 % of each other (the paper's K40x
+		// won raw by 1.12–1.27×; our modeled K40x is relatively
+		// weaker on small tiles, so the raw sign can flip).
+		if cmp.RawK40Advantage < 0.7 || cmp.RawK40Advantage > 1.4 {
+			t.Errorf("n=%d: raw comparison not comparable (%.2f×)", n, cmp.RawK40Advantage)
+		}
+		// Normalized to card-side kernel performance, hStreams is at
+		// parity or slightly better (paper band 1.03–1.28×).
+		if cmp.NormalizedKNCAdvantage < 0.98 || cmp.NormalizedKNCAdvantage > 1.35 {
+			t.Errorf("n=%d: normalized KNC advantage %.2f× outside the paper's parity band", n, cmp.NormalizedKNCAdvantage)
+		}
+	}
+}
+
+func TestForestGenerator(t *testing.T) {
+	f := RandomForest(1, 2, 2, 4800)
+	if f.Count() != 1+2+4 {
+		t.Fatalf("count = %d, want 7", f.Count())
+	}
+	if f.Flops() <= float64(f.N)*float64(f.N)*float64(f.N)/3 {
+		t.Fatal("subtree flops must exceed the root's")
+	}
+	for _, c := range f.Children {
+		if c.N >= f.N {
+			t.Fatal("fronts must shrink toward the leaves")
+		}
+	}
+}
+
+func TestRealForestRuns(t *testing.T) {
+	root := &Front{N: 48, Children: []*Front{{N: 24}, {N: 24}}}
+	res, err := FactorForest(platform.HSWPlusKNC(2), core.ModeReal, ForestConfig{Root: root, Tile: 12, CardStreams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fronts != 3 {
+		t.Fatalf("fronts = %d, want 3", res.Fronts)
+	}
+}
+
+// TestSimForestTreeParallelism: independent subtrees must overlap
+// across cards — the whole-system solve is faster than the serial sum
+// of its fronts — while parents still wait for their children.
+func TestSimForestTreeParallelism(t *testing.T) {
+	root := RandomForest(2, 2, 2, 9600)
+	serialFronts := 0
+	_ = serialFronts
+	two, err := FactorForest(platform.HSWPlusKNC(2), core.ModeSim, ForestConfig{Root: root, Tile: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := FactorForest(platform.HSWPlusKNC(1), core.ModeSim, ForestConfig{Root: root, Tile: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("forest of %d fronts: 1 card %v, 2 cards %v (%.2f× from tree parallelism)",
+		root.Count(), one.Seconds, two.Seconds, one.Seconds.Seconds()/two.Seconds.Seconds())
+	if two.Seconds >= one.Seconds {
+		t.Fatalf("independent subtrees did not overlap across cards: %v vs %v", two.Seconds, one.Seconds)
+	}
+}
+
+// TestSimForestRespectsTreeOrder: a deep chain (no independent
+// subtrees) must gain nothing from a second card.
+func TestSimForestRespectsTreeOrder(t *testing.T) {
+	chain := &Front{N: 4800, Children: []*Front{{N: 4800, Children: []*Front{{N: 4800}}}}}
+	one, err := FactorForest(platform.HSWPlusKNC(1), core.ModeSim, ForestConfig{Root: chain, Tile: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := FactorForest(platform.HSWPlusKNC(2), core.ModeSim, ForestConfig{Root: chain, Tile: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := one.Seconds.Seconds() / two.Seconds.Seconds()
+	t.Logf("chain: 1 card %v, 2 cards %v (gain %.2f×)", one.Seconds, two.Seconds, gain)
+	if gain > 1.1 {
+		t.Fatalf("a pure chain cannot speed up %.2f× from a second card", gain)
+	}
+}

@@ -1,0 +1,399 @@
+package stencil
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"hstreams/internal/core"
+	"hstreams/internal/floatbits"
+	"hstreams/internal/platform"
+)
+
+// Schedule selects the offload scheme the paper compares (§V, §VI).
+type Schedule int
+
+const (
+	// HostOnly runs everything on the host — the paper's baseline
+	// ("one rank on a HSW with no offload").
+	HostOnly Schedule = iota
+	// SyncOffload computes each rank's whole slab as one kernel and
+	// only then exchanges halos: "fully-synchronous offload … with no
+	// overlap of data and compute".
+	SyncOffload
+	// AsyncPipelined computes halos first, exchanges them while the
+	// bulk computes — "the data movement for the upper and lower halo
+	// is pipelined with the … halo and bulk computation".
+	AsyncPipelined
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case HostOnly:
+		return "host-only"
+	case SyncOffload:
+		return "sync-offload"
+	case AsyncPipelined:
+		return "async-pipelined"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Common errors.
+var (
+	ErrTooManyRanks = errors.New("stencil: more ranks than cards")
+	ErrSlabTooThin  = errors.New("stencil: slab thinner than twice the stencil radius")
+)
+
+// Config describes one RTM run.
+type Config struct {
+	NX, NY, NZ int
+	Steps      int
+	// Ranks decomposes the grid into z-slabs, one card per rank
+	// (ignored for HostOnly).
+	Ranks    int
+	Schedule Schedule
+	// C2DT2 is the wave-equation constant c²·dt² (default 0.1).
+	C2DT2 float64
+	// Verify (Real mode) checks the final wavefield against the
+	// reference propagator.
+	Verify bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	Seconds time.Duration
+	// MPointsPerSec is updated grid points per second (millions).
+	MPointsPerSec float64
+}
+
+const stepKernel = "rtm.step"
+
+// registerKernel installs the sink-side propagator.
+func registerKernel(rt *core.Runtime) {
+	rt.RegisterKernel(stepKernel, func(ctx *core.KernelCtx) {
+		nx, ny, nz := int(ctx.Args[0]), int(ctx.Args[1]), int(ctx.Args[2])
+		z0, z1, zg0 := int(ctx.Args[3]), int(ctx.Args[4]), int(ctx.Args[5])
+		c2dt2 := math.Float64frombits(uint64(ctx.Args[6]))
+		cur := floatbits.Float64s(ctx.Ops[0])
+		out := floatbits.Float64s(ctx.Ops[1])
+		Step(out, cur, nx, ny, nz, z0, z1, zg0, c2dt2, ctx.Threads)
+	})
+}
+
+// stepCost models one kernel over planes [z0, z1): bandwidth-bound
+// streaming through the roofline.
+func stepCost(nx, ny, nz, z0, z1 int) platform.Cost {
+	lo, hi := z0, z1
+	if lo < Radius {
+		lo = Radius
+	}
+	if hi > nz-Radius {
+		hi = nz - Radius
+	}
+	pts := 0.0
+	if hi > lo {
+		pts = float64(hi-lo) * float64(nx) * float64(ny)
+	}
+	return platform.Cost{
+		Kernel: platform.KStencil,
+		Flops:  FlopsPerPoint * pts,
+		Bytes:  BytesPerPoint * pts,
+		N:      nx,
+	}
+}
+
+// Run executes the configured propagation and reports performance.
+func Run(machine *platform.Machine, mode core.Mode, cfg Config) (Result, error) {
+	if cfg.C2DT2 == 0 {
+		cfg.C2DT2 = 0.1
+	}
+	rt, err := core.Init(core.Config{Machine: machine, Mode: mode})
+	if err != nil {
+		return Result{}, err
+	}
+	defer rt.Fini()
+	if mode == core.ModeReal {
+		registerKernel(rt)
+	} else {
+		rt.RegisterKernel(stepKernel, func(*core.KernelCtx) {})
+	}
+
+	nx, ny, nz := cfg.NX, cfg.NY, cfg.NZ
+	planeBytes := int64(nx) * int64(ny) * 8
+	gridBytes := planeBytes * int64(nz)
+	bufA, err := rt.Alloc1D("waveA", gridBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	bufB, err := rt.Alloc1D("waveB", gridBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	bufs := [2]*core.Buf{bufA, bufB}
+
+	var refA, refB []float64
+	if mode == core.ModeReal {
+		PointSource(bufA.HostFloat64s(), nx, ny, nz, 1)
+		if cfg.Verify {
+			refA = append([]float64(nil), bufA.HostFloat64s()...)
+			refB = make([]float64, len(refA))
+		}
+	}
+
+	// Rank layout.
+	ranks := cfg.Ranks
+	if cfg.Schedule == HostOnly {
+		ranks = 1
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	type rank struct {
+		s      *core.Stream
+		z0, z1 int
+	}
+	var rs []rank
+	if cfg.Schedule == HostOnly {
+		host := rt.Host()
+		s, err := rt.StreamCreate(host, 0, host.Spec().Cores())
+		if err != nil {
+			return Result{}, err
+		}
+		rs = []rank{{s: s, z0: 0, z1: nz}}
+	} else {
+		if ranks > rt.NumCards() {
+			return Result{}, ErrTooManyRanks
+		}
+		for r := 0; r < ranks; r++ {
+			d := rt.Card(r)
+			s, err := rt.StreamCreate(d, 0, d.Spec().Cores())
+			if err != nil {
+				return Result{}, err
+			}
+			z0 := r * nz / ranks
+			z1 := (r + 1) * nz / ranks
+			if z1-z0 < 2*Radius {
+				return Result{}, ErrSlabTooThin
+			}
+			rs = append(rs, rank{s: s, z0: z0, z1: z1})
+		}
+	}
+
+	planes := func(b *core.Buf, zLo, zHi int) core.Operand {
+		return b.Range(int64(zLo)*planeBytes, int64(zHi-zLo)*planeBytes, core.In)
+	}
+	xferPlanes := func(s *core.Stream, b *core.Buf, zLo, zHi int, dir core.XferDir, deps []*core.Action) (*core.Action, error) {
+		return s.EnqueueXferDeps(b, int64(zLo)*planeBytes, int64(zHi-zLo)*planeBytes, dir, deps)
+	}
+	enqueueStep := func(s *core.Stream, cur, nxt *core.Buf, z0, z1 int, deps []*core.Action) (*core.Action, error) {
+		zg0 := z0 - Radius
+		if zg0 < 0 {
+			zg0 = 0
+		}
+		zg1 := z1 + Radius
+		if zg1 > nz {
+			zg1 = nz
+		}
+		curOp := planes(cur, zg0, zg1)
+		outOp := planes(nxt, z0, z1)
+		outOp.Acc = core.InOut
+		return s.EnqueueComputeDeps(stepKernel,
+			[]int64{int64(nx), int64(ny), int64(nz), int64(z0), int64(z1), int64(zg0), int64(math.Float64bits(cfg.C2DT2))},
+			[]core.Operand{curOp, outOp}, stepCost(nx, ny, nz, z0, z1), deps)
+	}
+
+	// Initial distribution: each card rank needs its slab (with
+	// ghosts) of both ping-pong buffers. A production RTM job runs
+	// for weeks (§V), so setup is outside the timed steady state.
+	if cfg.Schedule != HostOnly {
+		for _, r := range rs {
+			zg0, zg1 := r.z0-Radius, r.z1+Radius
+			if zg0 < 0 {
+				zg0 = 0
+			}
+			if zg1 > nz {
+				zg1 = nz
+			}
+			for _, b := range bufs {
+				if _, err := xferPlanes(r.s, b, zg0, zg1, core.ToSink, nil); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+	rt.ThreadSynchronize()
+
+	start := rt.Now()
+	// outHalo[r][0/1] is rank r's top/bottom halo send of the current
+	// step, the cross-stream dependence of the neighbor's ghost pull.
+	outHalo := make([][2]*core.Action, len(rs))
+	for t := 0; t < cfg.Steps; t++ {
+		cur, nxt := bufs[t%2], bufs[(t+1)%2]
+		outHalo = make([][2]*core.Action, len(rs))
+		for i := range rs {
+			r := rs[i]
+			switch cfg.Schedule {
+			case HostOnly:
+				if _, err := enqueueStep(r.s, cur, nxt, r.z0, r.z1, nil); err != nil {
+					return Result{}, err
+				}
+			case AsyncPipelined:
+				// Halo kernels first, their sends next (overlapping
+				// the bulk), ghost pulls for the next step last.
+				if i > 0 {
+					if _, err := enqueueStep(r.s, cur, nxt, r.z0, r.z0+Radius, nil); err != nil {
+						return Result{}, err
+					}
+					a, err := xferPlanes(r.s, nxt, r.z0, r.z0+Radius, core.ToSource, nil)
+					if err != nil {
+						return Result{}, err
+					}
+					outHalo[i][0] = a
+				}
+				if i < len(rs)-1 {
+					if _, err := enqueueStep(r.s, cur, nxt, r.z1-Radius, r.z1, nil); err != nil {
+						return Result{}, err
+					}
+					a, err := xferPlanes(r.s, nxt, r.z1-Radius, r.z1, core.ToSource, nil)
+					if err != nil {
+						return Result{}, err
+					}
+					outHalo[i][1] = a
+				}
+				bz0, bz1 := r.z0, r.z1
+				if i > 0 {
+					bz0 += Radius
+				}
+				if i < len(rs)-1 {
+					bz1 -= Radius
+				}
+				if _, err := enqueueStep(r.s, cur, nxt, bz0, bz1, nil); err != nil {
+					return Result{}, err
+				}
+			case SyncOffload:
+				// Whole slab in one kernel, then exchange — nothing
+				// overlaps (the marker bars reordering). The slab
+				// kernel's ghost reads order against last step's
+				// ghost pulls through the FIFO semantic.
+				if _, err := enqueueStep(r.s, cur, nxt, r.z0, r.z1, nil); err != nil {
+					return Result{}, err
+				}
+				if _, err := r.s.EnqueueMarker(); err != nil {
+					return Result{}, err
+				}
+				if i > 0 {
+					a, err := xferPlanes(r.s, nxt, r.z0, r.z0+Radius, core.ToSource, nil)
+					if err != nil {
+						return Result{}, err
+					}
+					outHalo[i][0] = a
+				}
+				if i < len(rs)-1 {
+					a, err := xferPlanes(r.s, nxt, r.z1-Radius, r.z1, core.ToSource, nil)
+					if err != nil {
+						return Result{}, err
+					}
+					outHalo[i][1] = a
+				}
+			}
+		}
+		// Ghost pulls: rank i needs neighbors' fresh boundary planes
+		// of nxt before the NEXT step reads them (cross-stream
+		// dependences made explicit, §II).
+		if cfg.Schedule != HostOnly {
+			for i := range rs {
+				r := rs[i]
+				if i > 0 && outHalo[i-1][1] != nil {
+					if _, err := xferPlanes(r.s, nxt, r.z0-Radius, r.z0, core.ToSink,
+						[]*core.Action{outHalo[i-1][1]}); err != nil {
+						return Result{}, err
+					}
+				}
+				if i < len(rs)-1 && outHalo[i+1][0] != nil {
+					if _, err := xferPlanes(r.s, nxt, r.z1, r.z1+Radius, core.ToSink,
+						[]*core.Action{outHalo[i+1][0]}); err != nil {
+						return Result{}, err
+					}
+				}
+				if cfg.Schedule == SyncOffload {
+					if _, err := r.s.EnqueueMarker(); err != nil {
+						return Result{}, err
+					}
+				}
+			}
+		}
+	}
+	rt.ThreadSynchronize()
+	if err := rt.Err(); err != nil {
+		return Result{}, err
+	}
+	elapsed := rt.Now() - start
+
+	// Pull final slabs home (outside the steady-state measurement,
+	// like the setup).
+	if cfg.Schedule != HostOnly {
+		final := bufs[cfg.Steps%2]
+		prev := bufs[(cfg.Steps+1)%2]
+		for _, r := range rs {
+			if _, err := xferPlanes(r.s, final, r.z0, r.z1, core.ToSource, nil); err != nil {
+				return Result{}, err
+			}
+			if _, err := xferPlanes(r.s, prev, r.z0, r.z1, core.ToSource, nil); err != nil {
+				return Result{}, err
+			}
+		}
+		rt.ThreadSynchronize()
+		if err := rt.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if cfg.Verify && mode == core.ModeReal {
+		for t := 0; t < cfg.Steps; t++ {
+			if t%2 == 0 {
+				Reference(refB, refA, nx, ny, nz, cfg.C2DT2)
+			} else {
+				Reference(refA, refB, nx, ny, nz, cfg.C2DT2)
+			}
+		}
+		got := bufs[cfg.Steps%2].HostFloat64s()
+		want := refA
+		if cfg.Steps%2 == 1 {
+			want = refB
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				return Result{}, fmt.Errorf("stencil: mismatch at %d: got %g want %g", i, got[i], want[i])
+			}
+		}
+	}
+
+	pts := float64(nx) * float64(ny) * float64(nz) * float64(cfg.Steps)
+	return Result{
+		Seconds:       elapsed,
+		MPointsPerSec: pts / elapsed.Seconds() / 1e6,
+	}, nil
+}
+
+// Detuned returns a copy of the machine with stencil-kernel
+// efficiency scaled by factor — the paper's "unoptimized code", where
+// compute dominates and hiding communication matters less (§VI).
+func Detuned(m *platform.Machine, factor float64) *platform.Machine {
+	out := platform.NewMachine(m.Name+"-detuned", m.Host, 0, m.Host, m.Link)
+	out.Host = m.Host.Clone()
+	scale := func(d *platform.DomainSpec) {
+		e := d.Eff[platform.KStencil]
+		e.Max *= factor
+		d.Eff[platform.KStencil] = e
+	}
+	scale(out.Host)
+	for _, c := range m.Cards {
+		cc := c.Clone()
+		scale(cc)
+		out.Cards = append(out.Cards, cc)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+// Package stencil is the Petrobras RTM (Reverse Time Migration)
+// substrate (§V): a time-domain finite-difference wave propagator —
+// an 8th-order stencil over a 3-D regular grid — with domain
+// decomposition into z-slabs, halo/bulk splitting, and neighbor
+// exchange. The production seismic data and HPC cluster are out of
+// reach, so the grid is synthetic and ranks map onto the simulated
+// machine's cards; the experiments compare the paper's two schemes:
+// fully synchronous offload versus asynchronous pipelined overlap of
+// halo exchange and bulk compute.
+package stencil
+
+import "sync"
+
+// Radius is the stencil half-width (8th order).
+const Radius = 4
+
+// FlopsPerPoint is the modeled operation count per grid point (the
+// paper's halo-task sizing uses 80 flops per point).
+const FlopsPerPoint = 80
+
+// BytesPerPoint is the modeled memory traffic per updated point.
+const BytesPerPoint = 32
+
+// 8th-order central second-derivative coefficients.
+var coeff = [Radius + 1]float64{-205.0 / 72, 8.0 / 5, -1.0 / 5, 8.0 / 315, -1.0 / 560}
+
+// Grid dimensions use x-fastest layout: index = x + y·nx + z·nx·ny.
+
+// Step advances the wave equation on planes [z0, z1) of the global
+// grid:
+//
+//	next = 2·cur − prev + c²dt²·∇²cur
+//
+// cur holds planes [zg0, …) of the global grid (including whatever
+// ghost planes the caller staged); prevNext holds planes [z0, z1) and
+// is updated in place (it enters holding u(t−1) and leaves holding
+// u(t+1) — the standard two-buffer ping-pong). Boundary rings of
+// width Radius are left untouched. threads parallelizes over planes.
+func Step(prevNext, cur []float64, nx, ny, nz, z0, z1, zg0 int, c2dt2 float64, threads int) {
+	lo := z0
+	if lo < Radius {
+		lo = Radius
+	}
+	hi := z1
+	if hi > nz-Radius {
+		hi = nz - Radius
+	}
+	if hi <= lo {
+		return
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	plane := nx * ny
+	var wg sync.WaitGroup
+	chunk := (hi - lo + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		zs := lo + t*chunk
+		if zs >= hi {
+			break
+		}
+		ze := zs + chunk
+		if ze > hi {
+			ze = hi
+		}
+		wg.Add(1)
+		go func(zs, ze int) {
+			defer wg.Done()
+			for z := zs; z < ze; z++ {
+				curZ := (z - zg0) * plane
+				outZ := (z - z0) * plane
+				for y := Radius; y < ny-Radius; y++ {
+					row := y * nx
+					for x := Radius; x < nx-Radius; x++ {
+						c := curZ + row + x
+						lap := 3 * coeff[0] * cur[c]
+						for r := 1; r <= Radius; r++ {
+							lap += coeff[r] * (cur[c-r] + cur[c+r] +
+								cur[c-r*nx] + cur[c+r*nx] +
+								cur[c-r*plane] + cur[c+r*plane])
+						}
+						o := outZ + row + x
+						prevNext[o] = 2*cur[c] - prevNext[o] + c2dt2*lap
+					}
+				}
+			}
+		}(zs, ze)
+	}
+	wg.Wait()
+}
+
+// Reference advances the whole grid one step single-threaded, for
+// correctness checks. cur and prevNext both cover the full grid.
+func Reference(prevNext, cur []float64, nx, ny, nz int, c2dt2 float64) {
+	Step(prevNext, cur, nx, ny, nz, 0, nz, 0, c2dt2, 1)
+}
+
+// PointSource injects an initial disturbance at the grid center.
+func PointSource(u []float64, nx, ny, nz int, amp float64) {
+	u[(nz/2)*nx*ny+(ny/2)*nx+nx/2] = amp
+}

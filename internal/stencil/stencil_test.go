@@ -1,0 +1,179 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+func TestKernelMatchesReferenceSplits(t *testing.T) {
+	// Splitting the z range across calls must reproduce the whole-
+	// grid reference exactly.
+	const nx, ny, nz = 20, 18, 24
+	cur := make([]float64, nx*ny*nz)
+	PointSource(cur, nx, ny, nz, 1)
+	cur[5+6*nx+7*nx*ny] = -0.5
+
+	whole := make([]float64, nx*ny*nz)
+	Reference(whole, cur, nx, ny, nz, 0.1)
+
+	split := make([]float64, nx*ny*nz)
+	plane := nx * ny
+	for _, zr := range [][2]int{{0, 9}, {9, 16}, {16, nz}} {
+		zg0 := zr[0] - Radius
+		if zg0 < 0 {
+			zg0 = 0
+		}
+		Step(split[zr[0]*plane:zr[1]*plane], cur[zg0*plane:], nx, ny, nz, zr[0], zr[1], zg0, 0.1, 3)
+	}
+	for i := range whole {
+		if whole[i] != split[i] {
+			t.Fatalf("split/whole mismatch at %d: %g vs %g", i, split[i], whole[i])
+		}
+	}
+}
+
+func TestWavePropagates(t *testing.T) {
+	const n = 24
+	a := make([]float64, n*n*n)
+	b := make([]float64, n*n*n)
+	PointSource(a, n, n, n, 1)
+	for t := 0; t < 6; t++ {
+		if t%2 == 0 {
+			Reference(b, a, n, n, n, 0.1)
+		} else {
+			Reference(a, b, n, n, n, 0.1)
+		}
+	}
+	// Energy must have spread away from the center.
+	center := (n/2)*n*n + (n/2)*n + n/2
+	off := center + 3
+	if a[off] == 0 && b[off] == 0 {
+		t.Fatal("wave did not propagate")
+	}
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			t.Fatal("NaN in wavefield")
+		}
+	}
+}
+
+func TestRealSchedulesMatchReference(t *testing.T) {
+	cfg := Config{NX: 20, NY: 18, NZ: 32, Steps: 5, Ranks: 2, Verify: true}
+	for _, sched := range []Schedule{HostOnly, SyncOffload, AsyncPipelined} {
+		cfg.Schedule = sched
+		if _, err := Run(platform.HSWPlusKNC(2), core.ModeReal, cfg); err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+	}
+}
+
+func TestRealFourRanks(t *testing.T) {
+	cfg := Config{NX: 16, NY: 16, NZ: 48, Steps: 4, Ranks: 4, Schedule: AsyncPipelined, Verify: true}
+	if _, err := Run(platform.HSWPlusKNC(4), core.ModeReal, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	if _, err := Run(platform.HSWPlusKNC(1), core.ModeSim, Config{NX: 16, NY: 16, NZ: 32, Steps: 1, Ranks: 3, Schedule: SyncOffload}); err != ErrTooManyRanks {
+		t.Fatalf("err = %v, want ErrTooManyRanks", err)
+	}
+	if _, err := Run(platform.HSWPlusKNC(4), core.ModeSim, Config{NX: 16, NY: 16, NZ: 20, Steps: 1, Ranks: 4, Schedule: SyncOffload}); err != ErrSlabTooThin {
+		t.Fatalf("err = %v, want ErrSlabTooThin", err)
+	}
+}
+
+// TestSimRTMPaperShape reproduces §VI's RTM results: async pipelining
+// gains a few percent over synchronous offload; one KNC beats the
+// HSW host by ~1.5×; four ranks on four cards push toward ~6×.
+func TestSimRTMPaperShape(t *testing.T) {
+	// Production-size grid (Sim mode holds no real memory): deep in
+	// z so each rank's bulk dwarfs its halo, as in the paper's
+	// production runs where async pipelining buys 3–10 %.
+	cfg := Config{NX: 1024, NY: 1024, NZ: 4096, Steps: 10}
+
+	host := cfg
+	host.Schedule = HostOnly
+	hostRes, err := Run(platform.HSWPlusKNC(0), core.ModeSim, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(ranks int, sched Schedule) Result {
+		c := cfg
+		c.Ranks = ranks
+		c.Schedule = sched
+		r, err := Run(platform.HSWPlusKNC(ranks), core.ModeSim, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	sync1 := run(1, SyncOffload)
+	async1 := run(1, AsyncPipelined)
+	sync4 := run(4, SyncOffload)
+	async4 := run(4, AsyncPipelined)
+
+	sp1 := hostRes.Seconds.Seconds() / async1.Seconds.Seconds()
+	sp4 := hostRes.Seconds.Seconds() / async4.Seconds.Seconds()
+	asyncGain1 := sync1.Seconds.Seconds()/async1.Seconds.Seconds() - 1
+	asyncGain4 := sync4.Seconds.Seconds()/async4.Seconds.Seconds() - 1
+	t.Logf("RTM: 1-card speedup %.2f× (paper 1.52), 4-rank %.2f× (paper 6.02), async gain %.1f%%/%.1f%% (paper 3–10%%)",
+		sp1, sp4, asyncGain1*100, asyncGain4*100)
+
+	if sp1 < 1.2 || sp1 > 1.9 {
+		t.Errorf("1-card speedup %.2f× outside the paper's neighborhood (1.52×)", sp1)
+	}
+	if sp4 < 4.2 || sp4 > 7.5 {
+		t.Errorf("4-rank speedup %.2f× outside the paper's neighborhood (6.02×)", sp4)
+	}
+	if asyncGain4 <= 0 {
+		t.Errorf("async pipelining gained nothing over sync (%.2f%%)", asyncGain4*100)
+	}
+	if asyncGain4 > 0.25 {
+		t.Errorf("async gain %.0f%% implausibly large (paper: 3–10%%)", asyncGain4*100)
+	}
+}
+
+// TestSimUnoptimizedShrinksGains reproduces the paper's observation
+// that for unoptimized code the KNC speedup drops (1.13–4.53×)
+// because communication is a smaller fraction of the slower compute.
+func TestSimUnoptimizedShrinksGains(t *testing.T) {
+	cfg := Config{NX: 1024, NY: 1024, NZ: 512, Steps: 10}
+	detuned := Detuned(platform.HSWPlusKNC(1), 0.4)
+	detunedHost := Detuned(platform.HSWPlusKNC(0), 0.4)
+
+	host := cfg
+	host.Schedule = HostOnly
+	hostTuned, err := Run(platform.HSWPlusKNC(0), core.ModeSim, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostDetuned, err := Run(detunedHost, core.ModeSim, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := cfg
+	card.Ranks = 1
+	card.Schedule = AsyncPipelined
+	cardTuned, err := Run(platform.HSWPlusKNC(1), core.ModeSim, card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cardDetuned, err := Run(detuned, core.ModeSim, card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spTuned := hostTuned.Seconds.Seconds() / cardTuned.Seconds.Seconds()
+	spDetuned := hostDetuned.Seconds.Seconds() / cardDetuned.Seconds.Seconds()
+	t.Logf("speedup tuned %.2f× vs unoptimized %.2f×", spTuned, spDetuned)
+	if spDetuned >= spTuned {
+		t.Errorf("unoptimized code should gain less from the card: %.2f ≥ %.2f", spDetuned, spTuned)
+	}
+	if spDetuned < 1.0 {
+		t.Errorf("even unoptimized offload should not lose (%.2f×)", spDetuned)
+	}
+}

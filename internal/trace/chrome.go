@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one "complete" event in the Chrome trace-event
+// format (the JSON consumed by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeMeta names a thread row in the viewer.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace emits the recorded timeline in Chrome trace-event
+// JSON: one viewer row per stream (grouped and labeled), one complete
+// event per action. Load the output in chrome://tracing or
+// ui.perfetto.dev to inspect a schedule visually.
+func (t *Recorder) WriteChromeTrace(w io.Writer) error {
+	recs := t.Records()
+
+	// Stable stream → tid assignment in first-appearance order.
+	tids := map[string]int{}
+	var order []string
+	for _, r := range recs {
+		if _, ok := tids[r.Stream]; !ok {
+			tids[r.Stream] = len(tids)
+			order = append(order, r.Stream)
+		}
+	}
+	sort.Strings(order)
+
+	out := make([]interface{}, 0, len(recs)+len(order))
+	for _, s := range order {
+		out = append(out, chromeMeta{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  tids[s],
+			Args: map[string]string{"name": s},
+		})
+	}
+	for _, r := range recs {
+		name := r.Label
+		if name == "" {
+			name = r.Kind.String()
+		}
+		args := map[string]string{"domain": r.Domain}
+		if r.Bytes > 0 {
+			args["bytes"] = fmt.Sprint(r.Bytes)
+		}
+		if r.Flops > 0 {
+			args["flops"] = fmt.Sprint(r.Flops)
+		}
+		out = append(out, chromeEvent{
+			Name: name,
+			Cat:  r.Kind.String(),
+			Ph:   "X",
+			TS:   float64(r.Start.Microseconds()),
+			Dur:  float64(r.Dur().Microseconds()),
+			PID:  1,
+			TID:  tids[r.Stream],
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

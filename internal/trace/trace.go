@@ -1,0 +1,247 @@
+// Package trace records per-action execution timelines (start, end,
+// resource) from either execution mode, and computes the schedule
+// statistics the evaluation relies on: makespan, per-kind busy time,
+// and compute/transfer overlap.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a timeline record.
+type Kind int
+
+const (
+	// Compute is a kernel invocation at a stream sink.
+	Compute Kind = iota
+	// Transfer is a data movement action.
+	Transfer
+	// Sync is a synchronization marker.
+	Sync
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Transfer:
+		return "transfer"
+	case Sync:
+		return "sync"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Record is one completed action.
+type Record struct {
+	ID     uint64
+	Kind   Kind
+	Stream string
+	Domain string
+	Label  string
+	Start  time.Duration
+	End    time.Duration
+	Bytes  int64
+	Flops  float64
+}
+
+// Dur returns the record's duration.
+func (r Record) Dur() time.Duration { return r.End - r.Start }
+
+// Recorder accumulates records. It is safe for concurrent use. A nil
+// Recorder discards everything, so callers never need nil checks.
+type Recorder struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add appends a record.
+func (t *Recorder) Add(r Record) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.recs = append(t.recs, r)
+	t.mu.Unlock()
+}
+
+// Records returns a copy of all records sorted by start time.
+func (t *Recorder) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Record(nil), t.recs...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len reports the number of records.
+func (t *Recorder) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}
+
+// Reset discards all records.
+func (t *Recorder) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.recs = t.recs[:0]
+	t.mu.Unlock()
+}
+
+// Makespan returns the span from the earliest start to the latest end.
+func (t *Recorder) Makespan() time.Duration {
+	recs := t.Records()
+	if len(recs) == 0 {
+		return 0
+	}
+	first := recs[0].Start
+	var last time.Duration
+	for _, r := range recs {
+		if r.End > last {
+			last = r.End
+		}
+	}
+	return last - first
+}
+
+// BusyTime sums durations of records of the given kind.
+func (t *Recorder) BusyTime(k Kind) time.Duration {
+	var total time.Duration
+	for _, r := range t.Records() {
+		if r.Kind == k {
+			total += r.Dur()
+		}
+	}
+	return total
+}
+
+// TotalFlops sums the operation counts of all compute records.
+func (t *Recorder) TotalFlops() float64 {
+	var total float64
+	for _, r := range t.Records() {
+		total += r.Flops
+	}
+	return total
+}
+
+// TotalBytes sums the byte counts of all transfer records.
+func (t *Recorder) TotalBytes() int64 {
+	var total int64
+	for _, r := range t.Records() {
+		if r.Kind == Transfer {
+			total += r.Bytes
+		}
+	}
+	return total
+}
+
+// OverlapTime returns the total time during which at least one record
+// of kind a and one of kind b were simultaneously in flight — the
+// compute/communication overlap the streaming model exists to create.
+func (t *Recorder) OverlapTime(a, b Kind) time.Duration {
+	type edge struct {
+		at    time.Duration
+		kind  Kind
+		delta int
+	}
+	var edges []edge
+	for _, r := range t.Records() {
+		if r.Kind != a && r.Kind != b {
+			continue
+		}
+		edges = append(edges, edge{r.Start, r.Kind, +1}, edge{r.End, r.Kind, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		// Process ends before starts at the same instant so touching
+		// intervals don't count as overlap.
+		return edges[i].delta < edges[j].delta
+	})
+	var overlap time.Duration
+	var depthA, depthB int
+	var prev time.Duration
+	for _, e := range edges {
+		overlapping := depthA > 0 && depthB > 0
+		if a == b {
+			// Self-overlap means two records of the kind in flight.
+			overlapping = depthA >= 2
+		}
+		if overlapping {
+			overlap += e.at - prev
+		}
+		prev = e.at
+		if e.kind == a {
+			depthA += e.delta
+		}
+		if e.kind == b && a != b {
+			depthB += e.delta
+		}
+	}
+	return overlap
+}
+
+// Gantt renders a crude text timeline (one row per stream), useful in
+// examples and debugging.
+func (t *Recorder) Gantt(width int) string {
+	recs := t.Records()
+	if len(recs) == 0 {
+		return "(empty trace)\n"
+	}
+	span := t.Makespan()
+	if span <= 0 {
+		span = 1
+	}
+	origin := recs[0].Start
+	rows := map[string][]rune{}
+	var order []string
+	for _, r := range recs {
+		row, ok := rows[r.Stream]
+		if !ok {
+			row = []rune(strings.Repeat(".", width))
+			rows[r.Stream] = row
+			order = append(order, r.Stream)
+		}
+		c := 'C'
+		switch r.Kind {
+		case Transfer:
+			c = 'T'
+		case Sync:
+			c = 's'
+		}
+		lo := int(int64(r.Start-origin) * int64(width-1) / int64(span))
+		hi := int(int64(r.End-origin) * int64(width-1) / int64(span))
+		for i := lo; i <= hi && i < width; i++ {
+			row[i] = c
+		}
+	}
+	var sb strings.Builder
+	for _, name := range order {
+		fmt.Fprintf(&sb, "%-16s |%s|\n", name, string(rows[name]))
+	}
+	fmt.Fprintf(&sb, "%-16s  0 .. %v\n", "", span)
+	return sb.String()
+}

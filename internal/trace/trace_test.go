@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestMakespanAndBusy(t *testing.T) {
+	r := New()
+	r.Add(Record{ID: 1, Kind: Compute, Stream: "s0", Start: ms(10), End: ms(30), Flops: 100})
+	r.Add(Record{ID: 2, Kind: Transfer, Stream: "s0", Start: ms(5), End: ms(15), Bytes: 64})
+	r.Add(Record{ID: 3, Kind: Compute, Stream: "s1", Start: ms(20), End: ms(50), Flops: 200})
+	if got := r.Makespan(); got != ms(45) {
+		t.Fatalf("Makespan = %v, want 45ms", got)
+	}
+	if got := r.BusyTime(Compute); got != ms(50) {
+		t.Fatalf("BusyTime(Compute) = %v, want 50ms", got)
+	}
+	if got := r.BusyTime(Transfer); got != ms(10) {
+		t.Fatalf("BusyTime(Transfer) = %v, want 10ms", got)
+	}
+	if got := r.TotalFlops(); got != 300 {
+		t.Fatalf("TotalFlops = %v, want 300", got)
+	}
+	if got := r.TotalBytes(); got != 64 {
+		t.Fatalf("TotalBytes = %v, want 64", got)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestRecordsSorted(t *testing.T) {
+	r := New()
+	r.Add(Record{ID: 2, Start: ms(20), End: ms(21)})
+	r.Add(Record{ID: 1, Start: ms(10), End: ms(11)})
+	r.Add(Record{ID: 3, Start: ms(10), End: ms(12)})
+	recs := r.Records()
+	if recs[0].ID != 1 || recs[1].ID != 3 || recs[2].ID != 2 {
+		t.Fatalf("order = %v", []uint64{recs[0].ID, recs[1].ID, recs[2].ID})
+	}
+}
+
+func TestOverlapComputeTransfer(t *testing.T) {
+	r := New()
+	// compute [0,100), transfer [40,60) → 20ms overlap
+	r.Add(Record{ID: 1, Kind: Compute, Start: 0, End: ms(100)})
+	r.Add(Record{ID: 2, Kind: Transfer, Start: ms(40), End: ms(60)})
+	if got := r.OverlapTime(Compute, Transfer); got != ms(20) {
+		t.Fatalf("overlap = %v, want 20ms", got)
+	}
+}
+
+func TestOverlapTouchingIntervalsIsZero(t *testing.T) {
+	r := New()
+	r.Add(Record{ID: 1, Kind: Compute, Start: 0, End: ms(10)})
+	r.Add(Record{ID: 2, Kind: Transfer, Start: ms(10), End: ms(20)})
+	if got := r.OverlapTime(Compute, Transfer); got != 0 {
+		t.Fatalf("touching intervals overlap = %v, want 0", got)
+	}
+}
+
+func TestOverlapSameKind(t *testing.T) {
+	r := New()
+	r.Add(Record{ID: 1, Kind: Compute, Start: 0, End: ms(30)})
+	r.Add(Record{ID: 2, Kind: Compute, Start: ms(20), End: ms(50)})
+	if got := r.OverlapTime(Compute, Compute); got != ms(10) {
+		t.Fatalf("self-overlap = %v, want 10ms", got)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Record{ID: 1})
+	if r.Records() != nil || r.Len() != 0 || r.Makespan() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+	r.Reset()
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Add(Record{ID: 1, Start: 0, End: ms(5)})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset left records behind")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := New()
+	r.Add(Record{ID: 1, Kind: Compute, Stream: "s0", Start: 0, End: ms(50)})
+	r.Add(Record{ID: 2, Kind: Transfer, Stream: "s1", Start: ms(25), End: ms(100)})
+	g := r.Gantt(40)
+	if !strings.Contains(g, "s0") || !strings.Contains(g, "s1") {
+		t.Fatalf("gantt missing streams:\n%s", g)
+	}
+	if !strings.Contains(g, "C") || !strings.Contains(g, "T") {
+		t.Fatalf("gantt missing marks:\n%s", g)
+	}
+	if New().Gantt(10) != "(empty trace)\n" {
+		t.Fatal("empty gantt")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Transfer.String() != "transfer" || Sync.String() != "sync" {
+		t.Fatal("kind names")
+	}
+	if Kind(7).String() == "" {
+		t.Fatal("unknown kind name empty")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := New()
+	r.Add(Record{ID: 1, Kind: Compute, Stream: "KNC0.s0", Domain: "KNC0", Label: "dgemm", Start: ms(1), End: ms(3), Flops: 100})
+	r.Add(Record{ID: 2, Kind: Transfer, Stream: "KNC0.s1", Domain: "KNC0", Start: 0, End: ms(1), Bytes: 64})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 thread-name metadata + 2 complete events.
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	var metas, completes int
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			metas++
+		case "X":
+			completes++
+			if e["ts"] == nil || e["dur"] == nil {
+				t.Fatalf("complete event missing ts/dur: %v", e)
+			}
+		}
+	}
+	if metas != 2 || completes != 2 {
+		t.Fatalf("metas=%d completes=%d, want 2/2", metas, completes)
+	}
+	for _, e := range events {
+		if e["ph"] == "X" && e["name"] == "dgemm" {
+			if e["dur"].(float64) != 2000 { // 2ms in µs
+				t.Fatalf("dgemm dur = %v µs, want 2000", e["dur"])
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package workload generates the synthetic application workloads the
+// evaluation runs. The paper's Abaqus/Standard inputs are customer
+// confidential ("proprietary customer workloads assigned a letter: A,
+// B or C"), so per the reproduction ground rules this package defines
+// stand-ins with the properties the experiments depend on: a
+// supernode size mix (how much of the solver's work sits in large,
+// offloadable fronts) and a solver-dominance fraction (how much of
+// the application is solver at all) — the two quantities the paper
+// says Fig. 8's speedups hinge on ("The difference in speedups
+// obtained for the solver and the full application is dependent on
+// how 'solver-dominant' the workload is").
+package workload
+
+// Abaqus is one Abaqus/Standard-style workload.
+type Abaqus struct {
+	// Name matches the paper's Fig. 8 labels where public; the
+	// proprietary ones keep their letters.
+	Name string
+	// Unsymmetric marks the unsymmetric-solver test cases.
+	Unsymmetric bool
+	// SolverFraction is the fraction of baseline application time
+	// spent in the solver kernel.
+	SolverFraction float64
+	// Supernodes lists the representative supernode sizes (matrix
+	// edge) the solver factors, in processing order.
+	Supernodes []int
+}
+
+// FlopsShareAbove returns the fraction of the workload's solver flops
+// in supernodes of at least minN — the offloadable share.
+func (w Abaqus) FlopsShareAbove(minN int) float64 {
+	var big, total float64
+	for _, n := range w.Supernodes {
+		f := float64(n) * float64(n) * float64(n)
+		total += f
+		if n >= minN {
+			big += f
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return big / total
+}
+
+// AbaqusSuite returns the eight Fig. 8 workloads. Sizes are in
+// supernode matrix edge; mixes range from almost entirely large
+// fronts (the best accelerator cases) to dominated by small fronts
+// that never leave the host.
+func AbaqusSuite() []Abaqus {
+	return []Abaqus{
+		{
+			Name:           "s2a",
+			SolverFraction: 0.62,
+			Supernodes:     []int{9600, 4800, 2400, 2400, 1200, 1200, 1200},
+		},
+		{
+			Name:           "s4b",
+			SolverFraction: 0.85,
+			Supernodes:     []int{14400, 12000, 9600, 2400, 1200},
+		},
+		{
+			Name:           "s6",
+			SolverFraction: 0.70,
+			Supernodes:     []int{12000, 7200, 4800, 2400, 2400, 1200},
+		},
+		{
+			Name:           "s8",
+			SolverFraction: 0.88,
+			Supernodes:     []int{15600, 13200, 10800, 3600, 1200},
+		},
+		{
+			Name:           "s9",
+			Unsymmetric:    true,
+			SolverFraction: 0.75,
+			Supernodes:     []int{10800, 8400, 6000, 2400, 1200, 1200},
+		},
+		{
+			Name:           "A",
+			SolverFraction: 0.90,
+			Supernodes:     []int{16800, 14400, 12000, 2400},
+		},
+		{
+			Name:           "B",
+			Unsymmetric:    true,
+			SolverFraction: 0.55,
+			Supernodes:     []int{7200, 3600, 2400, 2400, 1200, 1200, 1200, 1200},
+		},
+		{
+			Name:           "C",
+			SolverFraction: 0.78,
+			Supernodes:     []int{13200, 9600, 4800, 2400, 1200},
+		},
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import "testing"
+
+func TestSuiteShape(t *testing.T) {
+	suite := AbaqusSuite()
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d workloads, want 8 (Fig. 8 shows 8)", len(suite))
+	}
+	names := map[string]bool{}
+	letters := 0
+	for _, w := range suite {
+		if names[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+		if len(w.Name) == 1 {
+			letters++ // proprietary customer workloads get letters
+		}
+		if w.SolverFraction <= 0.3 || w.SolverFraction >= 0.95 {
+			t.Errorf("%s: solver fraction %v implausible", w.Name, w.SolverFraction)
+		}
+		for _, n := range w.Supernodes {
+			if n < 600 || n > 20000 {
+				t.Errorf("%s: supernode size %d out of range", w.Name, n)
+			}
+		}
+	}
+	if letters != 3 {
+		t.Errorf("expected 3 lettered (proprietary stand-in) workloads, got %d", letters)
+	}
+}
+
+func TestFlopsShareAbove(t *testing.T) {
+	w := Abaqus{Supernodes: []int{1000, 1000}}
+	if got := w.FlopsShareAbove(500); got != 1 {
+		t.Fatalf("all-above share = %v, want 1", got)
+	}
+	if got := w.FlopsShareAbove(2000); got != 0 {
+		t.Fatalf("none-above share = %v, want 0", got)
+	}
+	// Cubic weighting: a 2000 front carries 8× the flops of a 1000.
+	w = Abaqus{Supernodes: []int{2000, 1000}}
+	got := w.FlopsShareAbove(1500)
+	if want := 8.0 / 9.0; got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("share = %v, want %v", got, want)
+	}
+}
+
+func TestSuiteCoversBothRegimes(t *testing.T) {
+	// Fig. 8's spread needs workloads dominated by large offloadable
+	// fronts AND workloads stuck with small host-bound ones.
+	// Flops weight cubically, so even one large front dominates a
+	// workload's share; the spread across the suite is still wide
+	// enough to separate the Fig. 8 best and worst cases.
+	var hasBig, hasSmall bool
+	for _, w := range AbaqusSuite() {
+		share := w.FlopsShareAbove(4800)
+		if share > 0.95 {
+			hasBig = true
+		}
+		if share < 0.85 {
+			hasSmall = true
+		}
+	}
+	if !hasBig || !hasSmall {
+		t.Fatalf("suite lacks regime coverage (big=%v small=%v)", hasBig, hasSmall)
+	}
+}

@@ -1,0 +1,155 @@
+// Layering analysis (§III): the paper's contribution 3 is "a
+// description of our approach to layering hStreams above other
+// plumbing layers …, with minimal overheads". These tests and
+// benchmarks move the same bytes through each layer of this
+// implementation's real stack —
+//
+//	raw fabric DMA  →  COI buffer write  →  hStreams EnqueueXfer
+//
+// — and verify that each layer's addition stays small for large
+// transfers, mirroring the paper's "<5 % overhead for transfers above
+// 1 MB" observation about the real stack.
+package hstreams_test
+
+import (
+	"testing"
+	"time"
+
+	"hstreams/internal/coi"
+	"hstreams/internal/core"
+	"hstreams/internal/fabric"
+	"hstreams/internal/platform"
+)
+
+const layerBytes = 8 << 20
+
+// fabricPath moves layerBytes via a raw SCIF-style DMA write.
+func fabricPath(b testing.TB, iters int) time.Duration {
+	f := fabric.New()
+	host := f.AddNode("host")
+	card := f.AddNode("card")
+	if _, err := f.Connect(host, card, platform.PCIe()); err != nil {
+		b.Fatal(err)
+	}
+	w := fabric.Register(card, layerBytes)
+	src := make([]byte, layerBytes)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := w.DMAWrite(f, host, 0, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// coiPath moves layerBytes through a COI buffer write.
+func coiPath(b testing.TB, iters int) time.Duration {
+	f := fabric.New()
+	host := f.AddNode("host")
+	card := f.AddNode("card")
+	if _, err := f.Connect(host, card, platform.PCIe()); err != nil {
+		b.Fatal(err)
+	}
+	p, err := coi.CreateProcess(f, host, card, coi.Options{PoolBuffers: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Destroy()
+	buf, err := p.CreateBuffer(layerBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([]byte, layerBytes)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := buf.Write(0, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// hstreamsPath moves layerBytes through a full hStreams transfer
+// action (enqueue, dependence analysis, COI, fabric, completion).
+func hstreamsPath(b testing.TB, iters int) time.Duration {
+	rt, err := core.Init(core.Config{Machine: platform.HSWPlusKNC(1), Mode: core.ModeReal})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Fini()
+	s, err := rt.StreamCreate(rt.Card(0), 0, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := rt.Alloc1D("x", layerBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		a, err := s.EnqueueXferAll(buf, core.ToSink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// TestLayeringOverheadSmall asserts the §III property on this
+// implementation: the hStreams layer's addition over the raw
+// transport stays small for large transfers. Measurements are
+// interleaved and the best-of-N taken per path so that ambient load
+// on a shared machine (other test packages run in parallel) cannot
+// skew one side.
+func TestLayeringOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moves hundreds of MB")
+	}
+	const iters, rounds = 8, 5
+	best := func(cur, d time.Duration) time.Duration {
+		if cur == 0 || d < cur {
+			return d
+		}
+		return cur
+	}
+	var raw, viaCOI, viaHS time.Duration
+	for r := 0; r < rounds; r++ {
+		raw = best(raw, fabricPath(t, iters))
+		viaCOI = best(viaCOI, coiPath(t, iters))
+		viaHS = best(viaHS, hstreamsPath(t, iters))
+	}
+	t.Logf("8 MB ×%d best-of-%d: fabric %v, COI %v, hStreams %v", iters, rounds, raw, viaCOI, viaHS)
+	// The paper's claim is <5% on dedicated hardware. Wall clock on a
+	// shared CI box jitters by integer factors even best-of-N, so the
+	// enforced bound is deliberately loose (2×) — the point is that
+	// the stack adds per-action costs in the microseconds, not
+	// another copy of the data; BenchmarkLayering reports the real
+	// throughput decomposition.
+	if float64(viaHS) > 2.0*float64(raw) {
+		t.Errorf("hStreams layer overhead too high: %v vs raw %v", viaHS, raw)
+	}
+}
+
+// BenchmarkLayering reports per-layer throughput for the same 8 MB
+// transfer (the §III overhead decomposition).
+func BenchmarkLayering(b *testing.B) {
+	cases := []struct {
+		name string
+		run  func(testing.TB, int) time.Duration
+	}{
+		{"fabricDMA", fabricPath},
+		{"coiBufferWrite", coiPath},
+		{"hstreamsXfer", hstreamsPath},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			d := c.run(b, b.N)
+			mbps := float64(layerBytes) * float64(b.N) / d.Seconds() / 1e6
+			b.ReportMetric(mbps, "MB/s")
+		})
+	}
+}
