@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file is not gofmt-clean, and prints the offenders.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# check is the pre-commit gate: build, vet, formatting, tests under
+# the race detector.
+check: build vet fmt race
+
+bench:
+	$(GO) run ./cmd/hsbench -fig all
+
+clean:
+	$(GO) clean ./...

@@ -27,6 +27,7 @@ import (
 	"hstreams/internal/lu"
 	"hstreams/internal/magma"
 	"hstreams/internal/matmul"
+	"hstreams/internal/metrics"
 	"hstreams/internal/mklao"
 	"hstreams/internal/platform"
 	"hstreams/internal/solver"
@@ -36,6 +37,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8, 9, overhead, ompss, rtm, tuning, lu, all")
+	metricsFile := flag.String("metrics", "", "write accumulated runtime telemetry to this file in Prometheus text format ('-' for stdout)")
 	flag.Parse()
 
 	runs := map[string]func(){
@@ -55,14 +57,53 @@ func main() {
 			runs[k]()
 			fmt.Println()
 		}
-		return
+	} else {
+		f, ok := runs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+			os.Exit(1)
+		}
+		f()
 	}
-	f, ok := runs[*fig]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
-		os.Exit(1)
+	telemetrySummary()
+	if *metricsFile != "" {
+		check(writeMetrics(*metricsFile))
 	}
-	f()
+}
+
+// telemetrySummary prints a one-line digest of the process-wide
+// registry every runtime reported into, so bench trajectory files
+// capture the telemetry alongside the figures.
+func telemetrySummary() {
+	reg := metrics.Default()
+	actions := reg.Total("hstreams_actions_total")
+	stall := reg.Total("hstreams_dep_stall_seconds_sum")
+	bytes := reg.Total("hstreams_link_bytes_total")
+	hits := reg.Total("hstreams_coi_pool_hits_total")
+	misses := reg.Total("hstreams_coi_pool_misses_total")
+	poolRate := "n/a"
+	if hits+misses > 0 {
+		poolRate = fmt.Sprintf("%.1f%%", 100*hits/(hits+misses))
+	}
+	fmt.Printf("telemetry: actions=%.0f dep-stall=%.3fs link-bytes=%.0f pool-hit=%s errors=%.0f\n",
+		actions, stall, bytes, poolRate, reg.Total("hstreams_action_errors_total"))
+}
+
+// writeMetrics dumps the process-wide registry in Prometheus text
+// format.
+func writeMetrics(path string) error {
+	if path == "-" {
+		return metrics.Default().WriteProm(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.Default().WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func check(err error) {

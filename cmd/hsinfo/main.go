@@ -3,7 +3,13 @@
 // to users (§II: "Domains are discoverable and enumerable to users.
 // Each domain has a set of properties…").
 //
-// Usage: hsinfo [-machine HSW+2KNC]
+// With -metrics, hsinfo additionally brings the runtime up in Sim
+// mode on the selected machine, drives a small probe workload
+// (transfer → compute → transfer on every card and the host), and
+// dumps the live telemetry registry — a quick end-to-end check that
+// the observability stack sees every layer.
+//
+// Usage: hsinfo [-machine HSW+2KNC] [-metrics json|prom]
 package main
 
 import (
@@ -11,6 +17,8 @@ import (
 	"fmt"
 	"os"
 
+	"hstreams/internal/core"
+	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 )
 
@@ -28,9 +36,11 @@ func machines() map[string]*platform.Machine {
 
 func main() {
 	name := flag.String("machine", "", "show one machine (default: all)")
+	metricsFmt := flag.String("metrics", "", "after enumeration, probe the machine in Sim mode and dump live telemetry: json or prom")
 	flag.Parse()
 
 	ms := machines()
+	probeMachine := "HSW+2KNC"
 	if *name != "" {
 		m, ok := ms[*name]
 		if !ok {
@@ -42,12 +52,74 @@ func main() {
 			os.Exit(1)
 		}
 		show(m)
-		return
+		probeMachine = *name
+	} else {
+		for _, n := range []string{"HSW", "HSW+1KNC", "HSW+2KNC", "IVB", "IVB+1KNC", "IVB+2KNC", "HSW+1K40"} {
+			show(ms[n])
+			fmt.Println()
+		}
 	}
-	for _, n := range []string{"HSW", "HSW+1KNC", "HSW+2KNC", "IVB", "IVB+1KNC", "IVB+2KNC", "HSW+1K40"} {
-		show(ms[n])
-		fmt.Println()
+
+	if *metricsFmt != "" {
+		if err := dumpMetrics(ms[probeMachine], *metricsFmt); err != nil {
+			fmt.Fprintf(os.Stderr, "hsinfo: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// dumpMetrics runs the probe workload on m under a private registry
+// and writes the resulting telemetry to stdout.
+func dumpMetrics(m *platform.Machine, format string) error {
+	if format != "json" && format != "prom" {
+		return fmt.Errorf("unknown -metrics format %q (want json or prom)", format)
+	}
+	reg := metrics.New()
+	rt, err := core.Init(core.Config{Machine: m, Mode: core.ModeSim, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	if err := probe(rt); err != nil {
+		rt.Fini()
+		return err
+	}
+	rt.Fini()
+	fmt.Printf("live telemetry after Sim probe of %s:\n", m)
+	if format == "json" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	return reg.WriteProm(os.Stdout)
+}
+
+// probe enqueues a transfer → compute → transfer chain on one stream
+// per domain, exercising streams, the dependence tracker, the
+// cost-model executor and (for cards) the modeled links.
+func probe(rt *core.Runtime) error {
+	const bufBytes = 4 << 20
+	for _, d := range rt.Domains() {
+		s, err := rt.StreamCreate(d, 0, d.Spec().Cores())
+		if err != nil {
+			return err
+		}
+		b, err := rt.Alloc1D(fmt.Sprintf("probe.%s", d.Spec().Name), bufBytes)
+		if err != nil {
+			return err
+		}
+		if _, err := s.EnqueueXferAll(b, core.ToSink); err != nil {
+			return err
+		}
+		// A DGEMM-class task of modest tile size, so the efficiency
+		// ramp yields a realistic rate rather than the model's floor.
+		cost := platform.Cost{Kernel: platform.KDGEMM, Flops: 1e9, Bytes: bufBytes, N: 512}
+		if _, err := s.EnqueueCompute("probe", nil, []core.Operand{b.All(core.InOut)}, cost); err != nil {
+			return err
+		}
+		if _, err := s.EnqueueXferAll(b, core.ToSource); err != nil {
+			return err
+		}
+	}
+	rt.ThreadSynchronize()
+	return rt.Err()
 }
 
 func show(m *platform.Machine) {

@@ -28,6 +28,7 @@ package hstreams
 import (
 	"hstreams/internal/app"
 	"hstreams/internal/core"
+	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 )
 
@@ -84,6 +85,29 @@ type (
 	// XferDir selects a transfer direction.
 	XferDir = core.XferDir
 )
+
+// Telemetry types (internal/metrics). Every Runtime reports live
+// counters, gauges and latency histograms into a MetricsRegistry
+// (Runtime.Metrics()); Observer hooks deliver per-action lifecycle
+// events (Runtime.AddObserver). Snapshots export as Prometheus text
+// (WriteProm) or JSON (WriteJSON).
+type (
+	// MetricsRegistry is a concurrency-safe registry of counters,
+	// gauges and fixed-bucket histograms.
+	MetricsRegistry = metrics.Registry
+	// MetricsEvent is one action-lifecycle transition.
+	MetricsEvent = metrics.Event
+	// Observer receives action-lifecycle events from a runtime.
+	Observer = metrics.Observer
+)
+
+// NewMetricsRegistry returns an empty, private metrics registry for
+// Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// DefaultMetrics returns the process-wide registry that runtimes
+// report into when Config.Metrics is nil.
+func DefaultMetrics() *MetricsRegistry { return metrics.Default() }
 
 // App-API types (the convenience layer, hStreams' "app API").
 type (

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hstreams/internal/core"
+	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 )
 
@@ -40,6 +41,9 @@ type Options struct {
 	// DisableBufferPool turns off the COI sink buffer pool (Real
 	// mode).
 	DisableBufferPool bool
+	// Metrics receives the runtime's telemetry; nil uses the
+	// process-wide metrics.Default() registry.
+	Metrics *metrics.Registry
 }
 
 // App wraps a runtime with per-domain stream sets.
@@ -61,6 +65,7 @@ func Init(opt Options) (*App, error) {
 		Mode:              opt.Mode,
 		SourceOverhead:    opt.SourceOverhead,
 		DisableBufferPool: opt.DisableBufferPool,
+		Metrics:           opt.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hstreams/internal/fabric"
+	"hstreams/internal/metrics"
 )
 
 // Common errors.
@@ -92,6 +93,12 @@ type Process struct {
 	sinkEP *fabric.Endpoint
 	pool   *BufferPool
 
+	// Telemetry, labeled by sink node (see Options.Metrics).
+	poolHits   *metrics.Counter
+	poolMisses *metrics.Counter
+	runFns     *metrics.Counter
+	pipeCount  *metrics.Counter
+
 	mu        sync.Mutex
 	funcs     map[string]RunFunc
 	buffers   map[uint64]*Buffer
@@ -108,6 +115,10 @@ type Options struct {
 	// PoolBuffers enables the 2 MB sink buffer pool. Disabling it
 	// reproduces the allocation overheads the paper saw with OmpSs.
 	PoolBuffers bool
+	// Metrics receives COI telemetry (buffer-pool hits/misses,
+	// run-function and pipeline counts), labeled by sink node. Nil
+	// keeps counting into detached series that are never exported.
+	Metrics *metrics.Registry
 }
 
 // CreateProcess starts a sink engine on the sink node and returns the
@@ -131,6 +142,10 @@ func CreateProcess(f *fabric.Fabric, source, sink *fabric.Node, opt Options) (*P
 	if opt.PoolBuffers {
 		p.pool = NewBufferPool(DefaultPoolChunk)
 	}
+	p.poolHits = opt.Metrics.CounterVec("hstreams_coi_pool_hits_total", "Sink buffer allocations satisfied from the 2 MB pool.", "sink").With(sink.Name())
+	p.poolMisses = opt.Metrics.CounterVec("hstreams_coi_pool_misses_total", "Sink buffer allocations that paid a cold (pinning) allocation.", "sink").With(sink.Name())
+	p.runFns = opt.Metrics.CounterVec("hstreams_coi_runfunctions_total", "Run-function invocations enqueued to sink pipelines.", "sink").With(sink.Name())
+	p.pipeCount = opt.Metrics.CounterVec("hstreams_coi_pipelines_total", "Sink pipelines created.", "sink").With(sink.Name())
 	p.wg.Add(2)
 	go p.sinkLoop()
 	go p.sourceLoop()
@@ -249,6 +264,7 @@ func (p *Process) CreatePipeline() (*Pipeline, error) {
 	pl := &Pipeline{p: p, id: p.id(), queue: make(chan msg, pipelineDepth)}
 	p.pipelines[pl.id] = pl
 	p.mu.Unlock()
+	p.pipeCount.Inc()
 	pl.wg.Add(1)
 	go pl.run()
 	return pl, nil
@@ -319,6 +335,7 @@ func (pl *Pipeline) RunFunction(name string, args []int64, bufs ...*Buffer) (*Ev
 		pl.p.mu.Unlock()
 		return nil, err
 	}
+	pl.p.runFns.Inc()
 	return ev, nil
 }
 
@@ -357,10 +374,14 @@ func (p *Process) CreateBuffer(size int) (*Buffer, error) {
 		b.sinkWin = fabric.RegisterBacked(p.sink, mem[:size])
 		if fresh {
 			b.allocTime = FreshAllocCost
+			p.poolMisses.Inc()
+		} else {
+			p.poolHits.Inc()
 		}
 	} else {
 		b.sinkWin = fabric.Register(p.sink, size)
 		b.allocTime = FreshAllocCost
+		p.poolMisses.Inc()
 	}
 	p.mu.Lock()
 	p.buffers[id] = b

@@ -69,6 +69,12 @@ type Action struct {
 	// thread's enqueue completion time.
 	ready time.Duration
 
+	// Lifecycle timestamps on the runtime clock, feeding the metrics
+	// layer: tEnqueue when the action entered its stream, tReady when
+	// its last dependence resolved (== tEnqueue if none were pending).
+	tEnqueue time.Duration
+	tReady   time.Duration
+
 	// Results.
 	done       chan struct{}
 	err        error
@@ -152,6 +158,9 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 		se := rt.exec.(*simExec)
 		se.hostTime += rt.cfg.SourceOverhead
 		a.ready = se.hostTime
+		a.tEnqueue = se.hostTime
+	} else {
+		a.tEnqueue = rt.exec.now()
 	}
 
 	// Dependences: program order within the stream, restricted to
@@ -187,14 +196,23 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 		addDep(d)
 	}
 	s.inflight = append(s.inflight, a)
+	depth := len(s.inflight)
 	rt.outstanding++
 	launch := a.npend == 0
 	if launch {
 		a.state = stateLaunched
+		a.tReady = a.tEnqueue
 	}
 	rt.mu.Unlock()
 
+	k := metricKind(a.kind)
+	s.met.enq[k].Inc()
+	s.met.depth.Set(int64(depth))
+	s.met.depthPeak.SetMax(int64(depth))
+	rt.notifyEnqueue(a)
+
 	if launch {
+		rt.notifyReadyLaunch(a)
 		rt.exec.launch(a)
 	}
 	if se, ok := rt.exec.(*simExec); ok {
@@ -229,6 +247,7 @@ func (rt *Runtime) finish(a *Action, err error) {
 			break
 		}
 	}
+	depth := len(s.inflight)
 	var ready []*Action
 	for _, succ := range a.succs {
 		// Successors may start no earlier than this completion; the
@@ -240,6 +259,11 @@ func (rt *Runtime) finish(a *Action, err error) {
 		succ.npend--
 		if succ.npend == 0 && succ.state == statePending {
 			succ.state = stateLaunched
+			if rt.cfg.Mode == ModeSim {
+				succ.tReady = succ.ready
+			} else {
+				succ.tReady = rt.exec.now()
+			}
 			ready = append(ready, succ)
 		}
 	}
@@ -247,6 +271,7 @@ func (rt *Runtime) finish(a *Action, err error) {
 	rt.mu.Unlock()
 
 	rt.setErr(err)
+	rt.observeFinish(a, err, depth)
 	kind := trace.Compute
 	switch a.kind {
 	case ActXferToSink, ActXferToSrc:
@@ -266,7 +291,9 @@ func (rt *Runtime) finish(a *Action, err error) {
 		Flops:  a.cost.Flops,
 	})
 	close(a.done)
+	rt.notifyFinish(a)
 	for _, r := range ready {
+		rt.notifyReadyLaunch(r)
 		rt.exec.launch(r)
 	}
 }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hstreams/internal/platform"
+)
+
+// TestEventWaitAnyNoGoroutineLeak is a regression test for the
+// wait-any path leaking one goroutine per incomplete event: waiters
+// parked on a never-completing action's done channel used to outlive
+// EventWait. Repeated wait-any calls against a blocked action must
+// not grow the goroutine count.
+func TestEventWaitAnyNoGoroutineLeak(t *testing.T) {
+	rt := realRuntime(t, 0)
+	gate := make(chan struct{})
+	rt.RegisterKernel("block", func(*KernelCtx) { <-gate })
+	rt.RegisterKernel("nop", func(*KernelCtx) {})
+	// Unblock before Fini (t.Cleanup runs LIFO) so shutdown's
+	// synchronize doesn't hang on the gated kernel.
+	t.Cleanup(func() { close(gate) })
+
+	host := rt.Host()
+	half := host.Spec().Cores() / 2
+	sBlock, err := rt.StreamCreate(host, 0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sQuick, err := rt.StreamCreate(host, half, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bBlock, err := rt.Alloc1D("block", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bQuick, err := rt.Alloc1D("quick", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := sBlock.EnqueueCompute("block", nil, []Operand{bBlock.All(InOut)}, platform.Cost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 50
+	before := runtime.NumGoroutine()
+	for i := 0; i < iters; i++ {
+		quick, err := sQuick.EnqueueCompute("nop", nil, []Operand{bQuick.All(InOut)}, platform.Cost{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.EventWait([]*Action{blocked, quick}, false)
+	}
+	// Released waiters need a beat to exit; poll until the count
+	// settles back near the baseline.
+	var after int
+	for i := 0; i < 100; i++ {
+		after = runtime.NumGoroutine()
+		if after <= before+5 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if growth := after - before; growth > 5 {
+		t.Fatalf("goroutines grew by %d over %d wait-any calls (leak)", growth, iters)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"time"
+
+	"hstreams/internal/metrics"
+)
+
+// Metric kind labels collapse the two transfer directions into one
+// "transfer" series (mirroring trace.Kind) so overlap analysis reads
+// two families, not three.
+const (
+	mkCompute = iota
+	mkTransfer
+	mkSync
+	mkCount
+)
+
+var metricKindNames = [mkCount]string{"compute", "transfer", "sync"}
+
+func metricKind(k ActKind) int {
+	switch k {
+	case ActCompute:
+		return mkCompute
+	case ActXferToSink, ActXferToSrc:
+		return mkTransfer
+	default:
+		return mkSync
+	}
+}
+
+// coreMetrics holds the runtime's registered telemetry families.
+// Per-stream handles are resolved once at StreamCreate (streamMetrics)
+// so the per-action path is pure atomic adds.
+type coreMetrics struct {
+	enqueued  *metrics.CounterVec   // kind, domain
+	actions   *metrics.CounterVec   // kind, domain
+	errors    *metrics.Counter      // first-error and every subsequent one
+	duration  *metrics.HistogramVec // kind, domain: launch→finish
+	stall     *metrics.HistogramVec // kind, domain: enqueue→ready (dependency stall)
+	sched     *metrics.HistogramVec // kind, domain: ready→launch (scheduler/resource latency)
+	depth     *metrics.GaugeVec     // stream: current incomplete-action window
+	depthPeak *metrics.GaugeVec     // stream: high-water mark of the window
+	linkBytes *metrics.CounterVec   // src, dst: payload bytes per link direction
+	linkXfers *metrics.CounterVec   // src, dst: transfers per link direction
+}
+
+func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
+	return &coreMetrics{
+		enqueued:  reg.CounterVec("hstreams_actions_enqueued_total", "Actions accepted into streams by kind and sink domain.", "kind", "domain"),
+		actions:   reg.CounterVec("hstreams_actions_total", "Actions completed by kind and sink domain.", "kind", "domain"),
+		errors:    reg.Counter("hstreams_action_errors_total", "Actions that completed with an error."),
+		duration:  reg.HistogramVec("hstreams_action_duration_seconds", "Action execution time (launch to finish) by kind and sink domain.", nil, "kind", "domain"),
+		stall:     reg.HistogramVec("hstreams_dep_stall_seconds", "Time actions spent blocked on dependences (enqueue to ready).", nil, "kind", "domain"),
+		sched:     reg.HistogramVec("hstreams_sched_latency_seconds", "Time from dependence resolution to execution start (resource contention).", nil, "kind", "domain"),
+		depth:     reg.GaugeVec("hstreams_queue_depth", "Enqueued-but-incomplete actions per stream.", "stream"),
+		depthPeak: reg.GaugeVec("hstreams_queue_depth_peak", "High-water mark of hstreams_queue_depth per stream.", "stream"),
+		linkBytes: reg.CounterVec("hstreams_link_bytes_total", "Payload bytes moved per link direction.", "src", "dst"),
+		linkXfers: reg.CounterVec("hstreams_link_transfers_total", "Transfers per link direction.", "src", "dst"),
+	}
+}
+
+// streamMetrics caches one stream's resolved series handles.
+type streamMetrics struct {
+	enq, done         [mkCount]*metrics.Counter
+	dur, stall, sched [mkCount]*metrics.Histogram
+	depth, depthPeak  *metrics.Gauge
+}
+
+func (cm *coreMetrics) forStream(name, domain string) *streamMetrics {
+	sm := &streamMetrics{
+		depth:     cm.depth.With(name),
+		depthPeak: cm.depthPeak.With(name),
+	}
+	for k := 0; k < mkCount; k++ {
+		kind := metricKindNames[k]
+		sm.enq[k] = cm.enqueued.With(kind, domain)
+		sm.done[k] = cm.actions.With(kind, domain)
+		sm.dur[k] = cm.duration.With(kind, domain)
+		sm.stall[k] = cm.stall.With(kind, domain)
+		sm.sched[k] = cm.sched.With(kind, domain)
+	}
+	return sm
+}
+
+// Metrics returns the registry the runtime reports into — the one
+// supplied via Config.Metrics, or metrics.Default(). It stays
+// readable after Fini.
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.reg }
+
+// AddObserver registers an action-lifecycle observer. See
+// metrics.Observer for the hook contract; observers added mid-run
+// only see transitions that happen after registration.
+func (rt *Runtime) AddObserver(o metrics.Observer) {
+	if o == nil {
+		return
+	}
+	rt.mu.Lock()
+	obs := append(append([]metrics.Observer(nil), rt.observers()...), o)
+	rt.obs.Store(&obs)
+	rt.mu.Unlock()
+}
+
+// observers returns the current observer slice (nil when none).
+func (rt *Runtime) observers() []metrics.Observer {
+	p := rt.obs.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// event builds the observer payload for an action transition.
+func (a *Action) event(when time.Duration) metrics.Event {
+	return metrics.Event{
+		Action: a.id,
+		Kind:   a.kind.String(),
+		Stream: a.stream.name,
+		Domain: a.stream.domain.spec.Name,
+		Bytes:  a.bytes,
+		Flops:  a.cost.Flops,
+		When:   when,
+		Err:    a.err,
+	}
+}
+
+func (rt *Runtime) notifyEnqueue(a *Action) {
+	for _, o := range rt.observers() {
+		o.OnEnqueue(a.event(a.tEnqueue))
+	}
+}
+
+func (rt *Runtime) notifyReadyLaunch(a *Action) {
+	for _, o := range rt.observers() {
+		ev := a.event(a.tReady)
+		o.OnReady(ev)
+		o.OnLaunch(ev)
+	}
+}
+
+func (rt *Runtime) notifyFinish(a *Action) {
+	for _, o := range rt.observers() {
+		o.OnFinish(a.event(a.end))
+	}
+}
+
+// observeFinish records a completed action's aggregates. Called
+// without rt.mu held; every touched metric is atomic.
+func (rt *Runtime) observeFinish(a *Action, err error, depth int) {
+	sm := a.stream.met
+	k := metricKind(a.kind)
+	sm.done[k].Inc()
+	sm.dur[k].Observe(a.end - a.start)
+	sm.stall[k].Observe(a.tReady - a.tEnqueue)
+	sm.sched[k].Observe(a.start - a.tReady)
+	sm.depth.Set(int64(depth))
+	if err != nil {
+		rt.mets.errors.Inc()
+	}
+}

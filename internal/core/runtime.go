@@ -32,10 +32,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hstreams/internal/coi"
 	"hstreams/internal/fabric"
+	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 	"hstreams/internal/trace"
 )
@@ -82,6 +84,11 @@ type Config struct {
 	// (the paper's state), every Alloc1D blocks the source thread
 	// for the sink allocation cost per card.
 	AsyncAlloc bool
+	// Metrics receives the runtime's live telemetry. Nil uses the
+	// process-wide metrics.Default() registry, so harnesses driving
+	// many runtimes accumulate one view; tests that assert on counts
+	// should pass their own registry.
+	Metrics *metrics.Registry
 }
 
 // Kernel is a sink-side compute entry point. Operand slices arrive in
@@ -107,6 +114,9 @@ type Runtime struct {
 	machine *platform.Machine
 	domains []*Domain
 	rec     *trace.Recorder
+	reg     *metrics.Registry
+	mets    *coreMetrics
+	obs     atomic.Pointer[[]metrics.Observer]
 
 	mu          sync.Mutex
 	nextID      uint64
@@ -146,13 +156,19 @@ func Init(cfg Config) (*Runtime, error) {
 	if cfg.Machine == nil || cfg.Machine.Host == nil {
 		return nil, ErrEmptyMachine
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
 	rt := &Runtime{
 		cfg:       cfg,
 		machine:   cfg.Machine,
 		rec:       trace.New(),
+		reg:       reg,
 		kernels:   make(map[string]Kernel),
 		kernelIDs: make(map[string]int64),
 	}
+	rt.mets = newCoreMetrics(reg)
 	for i, spec := range cfg.Machine.Domains() {
 		rt.domains = append(rt.domains, &Domain{rt: rt, index: i, spec: spec})
 	}
@@ -173,6 +189,7 @@ func Init(cfg Config) (*Runtime, error) {
 // initPlumbing builds the fabric and one COI process per card.
 func (rt *Runtime) initPlumbing() error {
 	rt.fab = fabric.New()
+	rt.fab.SetMetrics(rt.reg)
 	rt.nodes = make([]*fabric.Node, len(rt.domains))
 	rt.procs = make([]*coi.Process, len(rt.domains))
 	for i, d := range rt.domains {
@@ -182,7 +199,10 @@ func (rt *Runtime) initPlumbing() error {
 		if _, err := rt.fab.Connect(rt.nodes[0], rt.nodes[i], rt.machine.LinkFor(i-1)); err != nil {
 			return err
 		}
-		p, err := coi.CreateProcess(rt.fab, rt.nodes[0], rt.nodes[i], coi.Options{PoolBuffers: !rt.cfg.DisableBufferPool})
+		p, err := coi.CreateProcess(rt.fab, rt.nodes[0], rt.nodes[i], coi.Options{
+			PoolBuffers: !rt.cfg.DisableBufferPool,
+			Metrics:     rt.reg,
+		})
 		if err != nil {
 			return err
 		}
@@ -343,12 +363,19 @@ func (rt *Runtime) EventWait(evs []*Action, all bool) {
 		})
 		return
 	}
+	// done releases the waiter goroutines on return so waiters on
+	// never-completing events cannot outlive the call.
+	done := make(chan struct{})
+	defer close(done)
 	any := make(chan struct{})
 	var once sync.Once
 	for _, ev := range evs {
 		go func(ev *Action) {
-			<-ev.done
-			once.Do(func() { close(any) })
+			select {
+			case <-ev.done:
+				once.Do(func() { close(any) })
+			case <-done:
+			}
 		}(ev)
 	}
 	<-any

@@ -28,6 +28,9 @@ type Stream struct {
 	// destroyed rejects further enqueues; guarded by rt.mu.
 	destroyed bool
 
+	// met caches this stream's resolved metric series.
+	met *streamMetrics
+
 	// Real-mode execution state. computeMu may be shared with other
 	// streams mapped onto the same resources (see StreamCreateOn).
 	computeMu *sync.Mutex
@@ -79,6 +82,7 @@ func (rt *Runtime) StreamCreateOn(d *Domain, firstCore, nCores int, share *Strea
 	s.name = fmt.Sprintf("%s.s%d", d.spec.Name, s.id)
 	rt.streams = append(rt.streams, s)
 	rt.mu.Unlock()
+	s.met = rt.mets.forStream(s.name, d.spec.Name)
 
 	switch rt.cfg.Mode {
 	case ModeSim:

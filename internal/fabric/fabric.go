@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 )
 
@@ -36,11 +37,43 @@ type Fabric struct {
 	mu    sync.Mutex
 	nodes []*Node
 	links map[[2]int]*Link
+
+	bytesVec *metrics.CounterVec // src, dst
+	xfersVec *metrics.CounterVec // src, dst
 }
 
 // New returns an empty fabric.
 func New() *Fabric {
 	return &Fabric{links: make(map[[2]int]*Link)}
+}
+
+// SetMetrics attaches per-link traffic counters
+// (hstreams_link_bytes_total / hstreams_link_transfers_total, labeled
+// src/dst) to the fabric. Existing and future links are instrumented;
+// a nil registry detaches nothing visible (counters still count, they
+// are just not exported).
+func (f *Fabric) SetMetrics(reg *metrics.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.bytesVec = reg.CounterVec("hstreams_link_bytes_total", "Payload bytes moved per link direction.", "src", "dst")
+	f.xfersVec = reg.CounterVec("hstreams_link_transfers_total", "Transfers per link direction.", "src", "dst")
+	for _, l := range f.links {
+		f.instrument(l)
+	}
+}
+
+// instrument resolves a link's per-direction counters; caller holds
+// f.mu.
+func (f *Fabric) instrument(l *Link) {
+	if f.bytesVec == nil {
+		return
+	}
+	l.mu.Lock()
+	l.bytesCtr[0] = f.bytesVec.With(l.a.name, l.b.name)
+	l.xfersCtr[0] = f.xfersVec.With(l.a.name, l.b.name)
+	l.bytesCtr[1] = f.bytesVec.With(l.b.name, l.a.name)
+	l.xfersCtr[1] = f.xfersVec.With(l.b.name, l.a.name)
+	l.mu.Unlock()
 }
 
 // AddNode registers a domain on the fabric and returns its node.
@@ -71,6 +104,7 @@ func (f *Fabric) Connect(a, b *Node, spec *platform.LinkSpec) (*Link, error) {
 		return l, nil
 	}
 	l := &Link{spec: spec, a: a, b: b}
+	f.instrument(l)
 	f.links[key] = l
 	return l, nil
 }
@@ -115,6 +149,9 @@ type Link struct {
 
 	mu    sync.Mutex
 	stats [2]DirStats
+	// Optional registry counters by direction (see Fabric.SetMetrics).
+	bytesCtr [2]*metrics.Counter
+	xfersCtr [2]*metrics.Counter
 }
 
 // DirStats accumulates traffic accounting for one link direction.
@@ -147,11 +184,17 @@ func (l *Link) dir(from *Node) int {
 // the modeled wire time.
 func (l *Link) account(from *Node, n int64) time.Duration {
 	d := l.spec.TransferTime(n)
+	dir := l.dir(from)
 	l.mu.Lock()
-	s := &l.stats[l.dir(from)]
+	s := &l.stats[dir]
 	s.Transfers++
 	s.Bytes += n
 	s.ModeledTime += d
+	bc, xc := l.bytesCtr[dir], l.xfersCtr[dir]
 	l.mu.Unlock()
+	if bc != nil {
+		bc.Add(n)
+		xc.Inc()
+	}
 	return d
 }

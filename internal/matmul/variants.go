@@ -649,14 +649,38 @@ func OpenCLVariant(mode core.Mode, n, tb, nQueues int, verify bool) (VariantResu
 	}
 	start := cl.RT.Now()
 	//[opencl:data-transfers]
-	sent := map[int64]bool{}
-	ensure := func(q *oclsim.Queue, b *oclsim.Buffer, off int64, tag int64) error {
-		if sent[off+tag] {
+	type sentTile struct {
+		q  int
+		ev *core.Action
+	}
+	sent := map[int64]sentTile{}
+	synced := make([]map[int64]bool, nQueues)
+	for i := range synced {
+		synced[i] = map[int64]bool{}
+	}
+	// The first queue to need a shared tile sends it; in-order queues
+	// cannot see another queue's transfer, so later queues must stall
+	// on the sender's event (clEnqueueMarkerWithWaitList) before
+	// touching the tile.
+	ensure := func(qi int, b *oclsim.Buffer, off int64, tag int64) error {
+		key := off | tag
+		st, ok := sent[key]
+		if !ok {
+			ev, err := queues[qi].EnqueueWriteBuffer(b, off, tbytes)
+			if err != nil {
+				return err
+			}
+			sent[key] = sentTile{q: qi, ev: ev}
 			return nil
 		}
-		sent[off+tag] = true
-		_, err := q.EnqueueWriteBuffer(b, off, tbytes)
-		return err
+		if st.q == qi || synced[qi][key] {
+			return nil
+		}
+		if _, err := queues[qi].EnqueueMarkerWithWaitList(st.ev); err != nil {
+			return err
+		}
+		synced[qi][key] = true
+		return nil
 	}
 	//[end]
 	for j := 0; j < nt; j++ {
@@ -667,13 +691,10 @@ func OpenCLVariant(mode core.Mode, n, tb, nQueues int, verify bool) (VariantResu
 			for k := 0; k < nt; k++ {
 				aOff := kernels.TileOff(i, k, nt, tb)
 				bOff := kernels.TileOff(k, j, nt, tb)
-				// In-order queues cannot wait on another queue's
-				// transfer, so every queue re-sends shared tiles it
-				// has not sent itself.
-				if err := ensure(q, bufA, aOff, int64(qi)<<40); err != nil {
+				if err := ensure(qi, bufA, aOff, 0); err != nil {
 					return VariantResult{}, err
 				}
-				if err := ensure(q, bufB, bOff, 1<<60|int64(qi)<<40); err != nil {
+				if err := ensure(qi, bufB, bOff, 1<<60); err != nil {
 					return VariantResult{}, err
 				}
 				//[opencl:computation]

@@ -1,0 +1,153 @@
+package metrics_test
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"hstreams/internal/app"
+	"hstreams/internal/core"
+	"hstreams/internal/matmul"
+	"hstreams/internal/metrics"
+	"hstreams/internal/platform"
+)
+
+// TestSimMatmulTelemetry runs the paper's tiled matmul in Sim mode
+// against a private registry and checks that every layer reported:
+// the core (durations, dependency stalls, queue depth), the executor
+// (per-link bytes), and the exposition path (valid Prometheus text).
+func TestSimMatmulTelemetry(t *testing.T) {
+	reg := metrics.New()
+	a, err := app.Init(app.Options{
+		Machine:        platform.HSWPlusKNC(2),
+		Mode:           core.ModeSim,
+		StreamsPerCard: 4,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := matmul.Run(a, matmul.Config{N: 4800, Tile: 1200}); err != nil {
+		t.Fatal(err)
+	}
+	a.Fini()
+
+	for _, kind := range []string{"compute", "transfer"} {
+		if n := reg.Sum("hstreams_action_duration_seconds_count", map[string]string{"kind": kind}); n == 0 {
+			t.Errorf("no %s actions recorded in duration histogram", kind)
+		}
+		if d := reg.Sum("hstreams_action_duration_seconds_sum", map[string]string{"kind": kind}); d <= 0 {
+			t.Errorf("%s duration sum = %v, want > 0 (virtual clock)", kind, d)
+		}
+	}
+	// The tiled algorithm chains xfer→compute→xfer per panel, so some
+	// actions must have waited on predecessors.
+	if st := reg.Total("hstreams_dep_stall_seconds_sum"); st <= 0 {
+		t.Errorf("dependency stall total = %v, want > 0", st)
+	}
+	// With 4 streams per card and tile chains in flight, at least one
+	// stream's window grew past a single action.
+	if peak := reg.Total("hstreams_queue_depth_peak"); peak < 1 {
+		t.Errorf("queue depth peak total = %v, want >= 1", peak)
+	}
+	// Tiles moved host→card and results came back.
+	if lb := reg.Total("hstreams_link_bytes_total"); lb <= 0 {
+		t.Errorf("link bytes = %v, want > 0", lb)
+	}
+	if lx := reg.Total("hstreams_link_transfers_total"); lx <= 0 {
+		t.Errorf("link transfers = %v, want > 0", lx)
+	}
+	if reg.Total("hstreams_action_errors_total") != 0 {
+		t.Error("clean run reported action errors")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP hstreams_action_duration_seconds",
+		"# TYPE hstreams_action_duration_seconds histogram",
+		`kind="compute"`,
+		`kind="transfer"`,
+		"hstreams_link_bytes_total{",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+}
+
+// countObserver counts lifecycle callbacks; fields are atomic because
+// Real-mode hooks may fire concurrently.
+type countObserver struct {
+	enq, ready, launch, finish atomic.Int64
+	bytes                      atomic.Int64
+}
+
+func (c *countObserver) OnEnqueue(e metrics.Event) { c.enq.Add(1); c.bytes.Add(e.Bytes) }
+func (c *countObserver) OnReady(metrics.Event)     { c.ready.Add(1) }
+func (c *countObserver) OnLaunch(metrics.Event)    { c.launch.Add(1) }
+func (c *countObserver) OnFinish(metrics.Event)    { c.finish.Add(1) }
+
+// TestObserverLifecycle checks every action produces exactly one
+// enqueue/ready/launch/finish callback, in both executors.
+func TestObserverLifecycle(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSim, core.ModeReal} {
+		rt, err := core.Init(core.Config{
+			Machine: platform.HSWPlusKNC(1),
+			Mode:    mode,
+			Metrics: metrics.New(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := &countObserver{}
+		rt.AddObserver(obs)
+		rt.RegisterKernel("obs", func(*core.KernelCtx) {})
+
+		card := rt.Card(0)
+		s, err := rt.StreamCreate(card, 0, card.Spec().Cores())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const bufBytes = 1 << 20
+		b, err := rt.Alloc1D("obs", bufBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.EnqueueXferAll(b, core.ToSink); err != nil {
+			t.Fatal(err)
+		}
+		cost := platform.Cost{Flops: 1e6, Bytes: bufBytes}
+		if _, err := s.EnqueueCompute("obs", nil, []core.Operand{b.All(core.InOut)}, cost); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.EnqueueXferAll(b, core.ToSource); err != nil {
+			t.Fatal(err)
+		}
+		rt.ThreadSynchronize()
+		if err := rt.Err(); err != nil {
+			t.Fatalf("mode %v: run failed: %v", mode, err)
+		}
+		rt.Fini()
+
+		const want = 3 // xfer, compute, xfer
+		for name, got := range map[string]int64{
+			"enqueue": obs.enq.Load(),
+			"ready":   obs.ready.Load(),
+			"launch":  obs.launch.Load(),
+			"finish":  obs.finish.Load(),
+		} {
+			if got != want {
+				t.Errorf("mode %v: %s callbacks = %d, want %d", mode, name, got, want)
+			}
+		}
+		// Two transfers carry the buffer payload each.
+		if got := obs.bytes.Load(); got != 2*bufBytes {
+			t.Errorf("mode %v: observed bytes = %d, want %d", mode, got, 2*bufBytes)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import "time"
+
+// Event describes one action-lifecycle transition. Kind is the
+// runtime's action-kind name ("compute", "xfer→sink", "xfer→src",
+// "sync"); Bytes is nonzero for transfers and Flops for computes;
+// When is the transition timestamp on the runtime's clock — wall time
+// since Init in Real mode, virtual time in Sim mode, so Sim-mode
+// observers see paper-scale timings. Err is set only on finish
+// events, for actions that failed.
+type Event struct {
+	Action uint64
+	Kind   string
+	Stream string
+	Domain string
+	Bytes  int64
+	Flops  float64
+	When   time.Duration
+	Err    error
+}
+
+// Observer receives action-lifecycle events from a runtime
+// (core.Runtime.AddObserver). The four hooks trace the action state
+// machine:
+//
+//	OnEnqueue  the action entered its stream (dependences computed)
+//	OnReady    its last dependence resolved
+//	OnLaunch   it was handed to the executor
+//	OnFinish   it completed (Err carries any failure)
+//
+// Actions with no pending dependences fire OnReady and OnLaunch
+// immediately after OnEnqueue. Hooks are invoked without runtime
+// locks held; in Real mode they may run concurrently from executor
+// goroutines and, for independent actions, in any order across
+// actions — implementations must be concurrency-safe and fast, as
+// they sit on the action hot path. Sim mode invokes them from the
+// single host goroutine.
+type Observer interface {
+	OnEnqueue(Event)
+	OnReady(Event)
+	OnLaunch(Event)
+	OnFinish(Event)
+}

@@ -269,6 +269,19 @@ func (q *Queue) EnqueueNDRangeKernel(k *Kernel, nArgs int, cost platform.Cost) (
 	return a, nil
 }
 
+// EnqueueMarkerWithWaitList mirrors clEnqueueMarkerWithWaitList
+// (OpenCL 1.2): the queue stalls until the listed events — typically
+// commands from other queues — have completed.
+func (q *Queue) EnqueueMarkerWithWaitList(evs ...*core.Action) (*core.Action, error) {
+	q.ctx.cl.API.Hit("clEnqueueMarkerWithWaitList")
+	a, err := q.s.EnqueueEventWait(evs...)
+	if err != nil {
+		return nil, err
+	}
+	q.last = a
+	return a, nil
+}
+
 // Finish mirrors clFinish: block until the queue drains.
 func (q *Queue) Finish() error {
 	q.ctx.cl.API.Hit("clFinish")

@@ -36,16 +36,23 @@ type chromeMeta struct {
 func (t *Recorder) WriteChromeTrace(w io.Writer) error {
 	recs := t.Records()
 
-	// Stable stream → tid assignment in first-appearance order.
-	tids := map[string]int{}
+	// Deterministic stream → tid assignment: viewers order rows by
+	// tid, so tids come from the sorted stream names — not from
+	// first-appearance order, which varies run to run with action
+	// completion order.
+	seen := map[string]bool{}
 	var order []string
 	for _, r := range recs {
-		if _, ok := tids[r.Stream]; !ok {
-			tids[r.Stream] = len(tids)
+		if !seen[r.Stream] {
+			seen[r.Stream] = true
 			order = append(order, r.Stream)
 		}
 	}
 	sort.Strings(order)
+	tids := map[string]int{}
+	for i, s := range order {
+		tids[s] = i
+	}
 
 	out := make([]interface{}, 0, len(recs)+len(order))
 	for _, s := range order {

@@ -156,3 +156,54 @@ func TestWriteChromeTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestChromeTraceTIDsSortedOrder is a regression test for the row
+// ordering bug where TIDs followed first-appearance order (which
+// varies with completion order) while metadata was emitted in sorted
+// order: TIDs must rank streams by sorted name, and every event must
+// carry its stream's TID.
+func TestChromeTraceTIDsSortedOrder(t *testing.T) {
+	r := New()
+	// First appearance deliberately in reverse-sorted stream order.
+	r.Add(Record{ID: 1, Kind: Compute, Stream: "z.s1", Start: 0, End: ms(1)})
+	r.Add(Record{ID: 2, Kind: Compute, Stream: "a.s0", Start: ms(1), End: ms(2)})
+	r.Add(Record{ID: 3, Kind: Transfer, Stream: "m.s2", Start: ms(2), End: ms(3)})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	wantTID := map[string]int{"a.s0": 0, "m.s2": 1, "z.s1": 2}
+	metaTID := map[string]int{}
+	for _, e := range events {
+		if e["ph"] != "M" {
+			continue
+		}
+		name := e["args"].(map[string]interface{})["name"].(string)
+		metaTID[name] = int(e["tid"].(float64))
+	}
+	for name, want := range wantTID {
+		if metaTID[name] != want {
+			t.Fatalf("meta tid for %s = %d, want %d (sorted order)", name, metaTID[name], want)
+		}
+	}
+	// Events reference their stream's tid. Events carry no stream
+	// name, so match through the recorded timeline.
+	for _, rec := range r.Records() {
+		found := false
+		for _, e := range events {
+			if e["ph"] == "X" && e["ts"].(float64) == float64(rec.Start.Microseconds()) {
+				if got := int(e["tid"].(float64)); got != wantTID[rec.Stream] {
+					t.Fatalf("event in %s has tid %d, want %d", rec.Stream, got, wantTID[rec.Stream])
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no event found for record %d", rec.ID)
+		}
+	}
+}

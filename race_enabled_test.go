@@ -1,0 +1,7 @@
+//go:build race
+
+package hstreams_test
+
+// raceEnabled reports whether the race detector is compiled in; see
+// layering_test.go for why wall-clock bounds are skipped under it.
+const raceEnabled = true
