@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench clean
+.PHONY: all build test race vet fmt golden debug-smoke check bench clean
 
 all: build
 
@@ -23,9 +23,21 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# check is the pre-commit gate: build, vet, formatting, tests under
-# the race detector.
-check: build vet fmt race
+# golden pins the -metrics exposition format; it runs first in check
+# because it is fast and a telemetry-schema drift should fail loudly
+# before the full race run. Regenerate with:
+#   $(GO) test ./cmd/hsbench -run TestExpositionGolden -update
+golden:
+	$(GO) test ./cmd/hsbench -run TestExpositionGolden
+
+# debug-smoke boots hsbench with the live debug server and asserts
+# every endpoint answers 200 with plausible content.
+debug-smoke:
+	./scripts/debug_smoke.sh
+
+# check is the pre-commit gate: build, vet, formatting, the exposition
+# golden, then tests under the race detector.
+check: build vet fmt golden race
 
 bench:
 	$(GO) run ./cmd/hsbench -fig all

@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"hstreams/internal/app"
 	"hstreams/internal/chol"
 	"hstreams/internal/core"
+	"hstreams/internal/debugserver"
 	"hstreams/internal/lu"
 	"hstreams/internal/magma"
 	"hstreams/internal/matmul"
@@ -32,13 +34,25 @@ import (
 	"hstreams/internal/platform"
 	"hstreams/internal/solver"
 	"hstreams/internal/stencil"
+	"hstreams/internal/trace"
 	"hstreams/internal/workload"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8, 9, overhead, ompss, rtm, tuning, lu, all")
 	metricsFile := flag.String("metrics", "", "write accumulated runtime telemetry to this file in Prometheus text format ('-' for stdout)")
+	debugAddr := flag.String("debug-addr", "", "serve live debug endpoints (/metrics, /debug/pprof, /debug/trace, /debug/streams, /debug/critpath) on this address, e.g. 127.0.0.1:6060 (port 0 picks a free port)")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the figures finish (requires -debug-addr)")
+	critpath := flag.Bool("critpath", false, "print the critical-path report of the last schedule after the figures finish")
+	traceFile := flag.String("trace", "", "write the flight recorder's retained spans as Chrome trace JSON to this file (load in Perfetto for dependency arrows)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := debugserver.Start(*debugAddr, debugserver.Options{})
+		check(err)
+		defer srv.Close()
+		fmt.Printf("debug server listening on http://%s\n", srv.Addr())
+	}
 
 	runs := map[string]func(){
 		"3":        fig3,
@@ -68,6 +82,17 @@ func main() {
 	telemetrySummary()
 	if *metricsFile != "" {
 		check(writeMetrics(*metricsFile))
+	}
+	if *critpath {
+		rep := trace.Analyze(trace.LatestRun(trace.DefaultFlight().Snapshot()))
+		fmt.Print(rep.Format())
+	}
+	if *traceFile != "" {
+		check(writeChromeTrace(*traceFile))
+	}
+	if *debugAddr != "" && *debugLinger > 0 {
+		fmt.Printf("lingering %v for debug clients\n", *debugLinger)
+		time.Sleep(*debugLinger)
 	}
 }
 
@@ -100,6 +125,20 @@ func writeMetrics(path string) error {
 		return err
 	}
 	if err := metrics.Default().WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeChromeTrace dumps the process-wide flight recorder as Chrome
+// trace JSON with flow (dependency) arrows.
+func writeChromeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeSpans(f, trace.DefaultFlight().Snapshot()); err != nil {
 		f.Close()
 		return err
 	}

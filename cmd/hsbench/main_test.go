@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hstreams/internal/app"
+	"hstreams/internal/core"
+	"hstreams/internal/matmul"
+	"hstreams/internal/metrics"
+	"hstreams/internal/platform"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// expositionDump runs a fixed Sim workload under a fresh registry and
+// returns the Prometheus exposition. Sim mode is fully deterministic
+// (virtual clock, no goroutine scheduling in the timings), so the
+// bytes must not change between runs or machines.
+func expositionDump(t *testing.T) string {
+	t.Helper()
+	reg := metrics.New()
+	a, err := app.Init(app.Options{
+		Machine:        platform.HSWPlusKNC(1),
+		Mode:           core.ModeSim,
+		StreamsPerCard: 2,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := matmul.Run(a, matmul.Config{N: 4800, Tile: 1200}); err != nil {
+		t.Fatal(err)
+	}
+	a.Fini()
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestExpositionGolden pins the -metrics exposition format: families
+// and series sorted, stable HELP/TYPE text, deterministic Sim-mode
+// values. A diff here means the telemetry surface changed — update
+// the golden with `go test ./cmd/hsbench -run TestExpositionGolden
+// -update` and call the change out in review.
+func TestExpositionGolden(t *testing.T) {
+	got := expositionDump(t)
+	if again := expositionDump(t); again != got {
+		t.Fatal("exposition is not deterministic across identical runs")
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition differs from %s (regenerate with -update):\n%s",
+			golden, firstDiff(string(want), got))
+	}
+}
+
+// firstDiff renders the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  want %s\n  got  %s", i+1, w, g)
+		}
+	}
+	return ""
+}

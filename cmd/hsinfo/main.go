@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hstreams/internal/core"
+	"hstreams/internal/debugserver"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 )
@@ -37,7 +39,25 @@ func machines() map[string]*platform.Machine {
 func main() {
 	name := flag.String("machine", "", "show one machine (default: all)")
 	metricsFmt := flag.String("metrics", "", "after enumeration, probe the machine in Sim mode and dump live telemetry: json or prom")
+	debugAddr := flag.String("debug-addr", "", "serve live debug endpoints on this address while hsinfo runs (port 0 picks a free port)")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long before exiting (requires -debug-addr)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := debugserver.Start(*debugAddr, debugserver.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hsinfo: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server listening on http://%s\n", srv.Addr())
+		defer func() {
+			if *debugLinger > 0 {
+				fmt.Printf("lingering %v for debug clients\n", *debugLinger)
+				time.Sleep(*debugLinger)
+			}
+		}()
+	}
 
 	ms := machines()
 	probeMachine := "HSW+2KNC"

@@ -1,0 +1,192 @@
+// Acceptance tests for the causal-tracing subsystem: the critical-path
+// report must account for the measured makespan, and leaving the
+// flight recorder on must cost less than 5% of a tier-1 benchmark.
+package hstreams_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"hstreams"
+	"hstreams/internal/app"
+	"hstreams/internal/core"
+	"hstreams/internal/matmul"
+	"hstreams/internal/metrics"
+	"hstreams/internal/platform"
+)
+
+// runMatmulTraced runs the Fig. 6-class matmul under a private flight
+// recorder and returns the runtime's recorded makespan plus the
+// critical-path report of that run.
+func runMatmulTraced(t *testing.T) (time.Duration, *hstreams.CritReport) {
+	t.Helper()
+	flight := hstreams.NewFlightRecorder(1 << 15)
+	a, err := app.Init(app.Options{
+		Machine:        platform.HSWPlusKNC(2),
+		Mode:           core.ModeSim,
+		StreamsPerCard: 4,
+		HostStreams:    3,
+		Metrics:        metrics.New(),
+		Flight:         flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := matmul.Run(a, matmul.Config{N: 9600, Tile: 2400, UseHost: true, LoadBalance: true}); err != nil {
+		t.Fatal(err)
+	}
+	makespan := a.RT.Trace().Makespan()
+	spans := flight.Snapshot()
+	a.Fini()
+	return makespan, hstreams.AnalyzeCriticalPath(hstreams.LatestRunSpans(spans))
+}
+
+// TestCritPathAccountsForMakespan is the PR's acceptance criterion:
+// the per-category attribution must sum to within 5% of the measured
+// makespan (by construction it sums to the report's own makespan
+// exactly; the 5% covers the different origin conventions of the
+// timeline recorder and the span DAG).
+func TestCritPathAccountsForMakespan(t *testing.T) {
+	makespan, rep := runMatmulTraced(t)
+	if len(rep.Steps) == 0 {
+		t.Fatal("no critical path extracted")
+	}
+	if rep.CategorySum() != rep.Makespan {
+		t.Fatalf("CategorySum %v != report makespan %v", rep.CategorySum(), rep.Makespan)
+	}
+	diff := rep.CategorySum() - makespan
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(makespan) {
+		t.Fatalf("category sum %v vs measured makespan %v: off by %.1f%%, want <= 5%%",
+			rep.CategorySum(), makespan, 100*float64(diff)/float64(makespan))
+	}
+	// The report must tell a coherent tuning story: compute on the
+	// path, and every step causally ordered (non-overlapping segments).
+	if rep.Categories["compute"] == 0 {
+		t.Fatal("critical path of a matmul has no compute time")
+	}
+	for i := 1; i < len(rep.Steps); i++ {
+		if rep.Steps[i].Arrive < rep.Steps[i-1].Span.Finish {
+			t.Fatalf("step %d arrives at %v before predecessor finished at %v",
+				i, rep.Steps[i].Arrive, rep.Steps[i-1].Span.Finish)
+		}
+	}
+}
+
+// overheadResult is the BENCH_trace_overhead.json document.
+type overheadResult struct {
+	Benchmark    string  `json:"benchmark"`
+	TracedSec    float64 `json:"traced_sec"`
+	UntracedSec  float64 `json:"untraced_sec"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	Spans        uint64  `json:"spans"`
+	RaceDetector bool    `json:"race_detector"`
+}
+
+// matmulWall measures the wall-clock time of reps Sim-mode runs of
+// the tier-1 matmul configuration (BenchmarkFig6Matmul's HSW+2KNC
+// case). Virtual durations are identical either way; the wall clock
+// is what tracing can slow down. A single run takes a few
+// milliseconds, so one sample covers several to rise above timer and
+// scheduler jitter.
+func matmulWall(t *testing.T, disable bool, flight *hstreams.FlightRecorder, reps int) time.Duration {
+	t.Helper()
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		a, err := app.Init(app.Options{
+			Machine:            platform.HSWPlusKNC(2),
+			Mode:               core.ModeSim,
+			StreamsPerCard:     4,
+			HostStreams:        3,
+			Metrics:            metrics.New(),
+			Flight:             flight,
+			DisableCausalTrace: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := matmul.Run(a, matmul.Config{N: 19200, Tile: 2400, UseHost: true, LoadBalance: true}); err != nil {
+			t.Fatal(err)
+		}
+		total += time.Since(start)
+		a.Fini()
+	}
+	return total
+}
+
+// TestTraceOverheadBudget measures the flight recorder's cost on the
+// tier-1 matmul benchmark and writes BENCH_trace_overhead.json. The
+// <5% assertion is best-of-5 to shed scheduler noise, and skipped
+// under the race detector (instrumentation distorts both sides).
+func TestTraceOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing benchmark; skipped in -short")
+	}
+	const rounds, reps = 8, 24
+	flight := hstreams.NewFlightRecorder(1 << 12)
+	// Warm up both variants so first-run allocation noise hits
+	// neither side. Measured rounds interleave the two arms (order
+	// alternating each round) so clock and load drift spread across
+	// both, and each sample starts from a collected heap so GC debt
+	// from the previous sample is not billed to this one. Best-of-N
+	// per arm then sheds the remaining scheduler noise.
+	matmulWall(t, false, flight, 1)
+	matmulWall(t, true, flight, 1)
+	// Collect explicitly between samples and keep the pacer out of the
+	// timed region: a GC cycle landing inside one arm but not the
+	// other would swamp the ~100ns/span recording cost being measured.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	traced := time.Duration(1<<63 - 1)
+	untraced := traced
+	measure := func(disable bool) {
+		runtime.GC()
+		d := matmulWall(t, disable, flight, reps)
+		if disable {
+			if d < untraced {
+				untraced = d
+			}
+		} else if d < traced {
+			traced = d
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		first := i%2 == 0
+		measure(first)
+		measure(!first)
+	}
+	overhead := 100 * (traced.Seconds()/untraced.Seconds() - 1)
+
+	res := overheadResult{
+		Benchmark:    "matmul Sim N=19200 tile=2400 HSW+2KNC (best of 8 interleaved samples of 24 runs)",
+		TracedSec:    traced.Seconds(),
+		UntracedSec:  untraced.Seconds(),
+		OverheadPct:  overhead,
+		Spans:        flight.Total(),
+		RaceDetector: raceEnabled,
+	}
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_trace_overhead.json", append(doc, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("traced %v, untraced %v, overhead %.2f%%, %d spans", traced, untraced, overhead, res.Spans)
+	if flight.Total() == 0 {
+		t.Fatal("traced runs recorded no spans")
+	}
+	if raceEnabled {
+		t.Skip("race detector on; wall-clock bound not meaningful")
+	}
+	if overhead > 5 {
+		t.Fatalf("tracing overhead %.2f%% exceeds the 5%% budget (traced %v, untraced %v)",
+			overhead, traced, untraced)
+	}
+}

@@ -24,6 +24,7 @@ import (
 func main() {
 	n := flag.Int("n", 19200, "matrix size for the Sim-mode sweep")
 	tile := flag.Int("tile", 2400, "tile size")
+	critpath := flag.Bool("critpath", false, "print the critical-path report for the last configuration")
 	flag.Parse()
 
 	// Real-mode validation at laptop scale.
@@ -82,5 +83,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-28s %7.0f GFlop/s  (%v)\n", c.label, r.GFlops, r.Seconds)
+	}
+
+	// Every run above recorded causal spans into the process-wide
+	// flight recorder; pull the most recent run back out and explain
+	// where its makespan went (see DESIGN.md "Interpreting a
+	// critical-path report").
+	if *critpath {
+		rep := hstreams.AnalyzeCriticalPath(hstreams.LatestRunSpans(hstreams.DefaultFlight().Snapshot()))
+		fmt.Printf("\ncritical path of the %q run:\n\n%s", cases[len(cases)-1].label, rep.Format())
 	}
 }

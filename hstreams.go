@@ -30,6 +30,7 @@ import (
 	"hstreams/internal/core"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
+	"hstreams/internal/trace"
 )
 
 // Execution modes.
@@ -108,6 +109,37 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
 // DefaultMetrics returns the process-wide registry that runtimes
 // report into when Config.Metrics is nil.
 func DefaultMetrics() *MetricsRegistry { return metrics.Default() }
+
+// Causal-tracing types (internal/trace). Every completed action is
+// recorded as a Span — its four phase timestamps plus the dependence
+// edges that gated it — into a lock-free FlightRecorder ring
+// (Runtime.Flight()); AnalyzeCriticalPath turns one run's spans into a
+// CritReport attributing every makespan nanosecond to a category.
+type (
+	// Span is one completed action with its causal context.
+	Span = trace.Span
+	// SpanDep is one causal in-edge of a span.
+	SpanDep = trace.Dep
+	// FlightRecorder is a lock-free ring buffer of completed spans.
+	FlightRecorder = trace.FlightRecorder
+	// CritReport is the result of critical-path analysis.
+	CritReport = trace.CritReport
+)
+
+// NewFlightRecorder returns a private flight recorder holding the most
+// recent capacity spans (<= 0 uses the default) for Config.Flight.
+func NewFlightRecorder(capacity int) *FlightRecorder { return trace.NewFlight(capacity) }
+
+// DefaultFlight returns the process-wide flight recorder that runtimes
+// record into when Config.Flight is nil.
+func DefaultFlight() *FlightRecorder { return trace.DefaultFlight() }
+
+// AnalyzeCriticalPath extracts the critical path from one run's spans
+// (use LatestRunSpans to select them from a shared recorder).
+func AnalyzeCriticalPath(spans []Span) *CritReport { return trace.Analyze(spans) }
+
+// LatestRunSpans filters spans down to the most recent run id present.
+func LatestRunSpans(spans []Span) []Span { return trace.LatestRun(spans) }
 
 // App-API types (the convenience layer, hStreams' "app API").
 type (

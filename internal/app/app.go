@@ -15,6 +15,7 @@ import (
 	"hstreams/internal/core"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
+	"hstreams/internal/trace"
 )
 
 // ErrNoStreams is returned when a domain was configured with zero
@@ -44,6 +45,12 @@ type Options struct {
 	// Metrics receives the runtime's telemetry; nil uses the
 	// process-wide metrics.Default() registry.
 	Metrics *metrics.Registry
+	// Flight receives completed-action causal spans; nil uses the
+	// process-wide trace.DefaultFlight() recorder.
+	Flight *trace.FlightRecorder
+	// DisableCausalTrace turns span capture off entirely (see
+	// core.Config.DisableCausalTrace).
+	DisableCausalTrace bool
 }
 
 // App wraps a runtime with per-domain stream sets.
@@ -61,11 +68,13 @@ func Init(opt Options) (*App, error) {
 		opt.StreamsPerCard = 1
 	}
 	rt, err := core.Init(core.Config{
-		Machine:           opt.Machine,
-		Mode:              opt.Mode,
-		SourceOverhead:    opt.SourceOverhead,
-		DisableBufferPool: opt.DisableBufferPool,
-		Metrics:           opt.Metrics,
+		Machine:            opt.Machine,
+		Mode:               opt.Mode,
+		SourceOverhead:     opt.SourceOverhead,
+		DisableBufferPool:  opt.DisableBufferPool,
+		Metrics:            opt.Metrics,
+		Flight:             opt.Flight,
+		DisableCausalTrace: opt.DisableCausalTrace,
 	})
 	if err != nil {
 		return nil, err

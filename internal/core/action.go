@@ -65,6 +65,18 @@ type Action struct {
 	succs []*Action
 	state actState
 
+	// deps records the causal in-edges for the flight recorder
+	// (why this action waited); written at enqueue under rt.mu,
+	// read at finish. Nil when causal tracing is off. depbuf backs
+	// the common few-edge case so recording deps usually allocates
+	// nothing; append spills to the heap past its capacity.
+	deps   []trace.Dep
+	depbuf [8]trace.Dep
+	// span is the flight-recorder entry, embedded here so recording a
+	// completed action allocates nothing; finish fills it and stores
+	// its address in the ring.
+	span trace.Span
+
 	// ready is the earliest virtual start (Sim mode): the source
 	// thread's enqueue completion time.
 	ready time.Duration
@@ -167,7 +179,7 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 	// hazardous operand overlap; sync actions order against
 	// everything (paper §II: actions are free to execute and complete
 	// out of order as long as the FIFO semantic is not violated).
-	addDep := func(b *Action) {
+	addDep := func(b *Action, why trace.DepKind) {
 		if b.state == stateDone || b == a {
 			return
 		}
@@ -178,14 +190,20 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 		}
 		b.succs = append(b.succs, a)
 		a.npend++
+		if rt.flight != nil {
+			if a.deps == nil {
+				a.deps = a.depbuf[:0]
+			}
+			a.deps = append(a.deps, trace.Dep{ID: b.id, Why: why})
+		}
 	}
 	for _, b := range s.inflight {
 		if a.kind == ActSync || b.kind == ActSync {
-			addDep(b)
+			addDep(b, trace.DepSync)
 			continue
 		}
 		if hazard(a, b) {
-			addDep(b)
+			addDep(b, trace.DepFIFO)
 		}
 	}
 	for _, d := range extraDeps {
@@ -193,16 +211,17 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 			rt.mu.Unlock()
 			return nil, ErrWrongRuntime
 		}
-		addDep(d)
+		addDep(d, trace.DepEvent)
 	}
 	s.inflight = append(s.inflight, a)
 	depth := len(s.inflight)
 	rt.outstanding++
-	launch := a.npend == 0
-	if launch {
-		a.state = stateLaunched
-		a.tReady = a.tEnqueue
-	}
+	hadDeps := a.npend > 0
+	// Hold one extra pending token until the OnEnqueue hook has fired:
+	// without it a predecessor finishing on another goroutine could
+	// launch this action — and notify OnReady/OnLaunch — before its
+	// OnEnqueue, breaking the per-action hook ordering contract.
+	a.npend++
 	rt.mu.Unlock()
 
 	k := metricKind(a.kind)
@@ -210,6 +229,22 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 	s.met.depth.Set(int64(depth))
 	s.met.depthPeak.SetMax(int64(depth))
 	rt.notifyEnqueue(a)
+
+	rt.mu.Lock()
+	a.npend--
+	launch := a.npend == 0 && a.state == statePending
+	if launch {
+		a.state = stateLaunched
+		switch {
+		case !hadDeps:
+			a.tReady = a.tEnqueue
+		case rt.cfg.Mode == ModeSim:
+			a.tReady = a.ready
+		default:
+			a.tReady = rt.exec.now()
+		}
+	}
+	rt.mu.Unlock()
 
 	if launch {
 		rt.notifyReadyLaunch(a)
@@ -268,6 +303,14 @@ func (rt *Runtime) finish(a *Action, err error) {
 		}
 	}
 	rt.outstanding--
+	// Retired actions may be pinned for a long time by the flight
+	// recorder (the ring stores &a.span); drop the execution payload so
+	// a pinned action does not keep successors, operands, and kernel
+	// closures reachable.
+	a.succs = nil
+	a.ops = nil
+	a.kernelFn = nil
+	a.args = nil
 	rt.mu.Unlock()
 
 	rt.setErr(err)
@@ -290,6 +333,35 @@ func (rt *Runtime) finish(a *Action, err error) {
 		Bytes:  a.bytes,
 		Flops:  a.cost.Flops,
 	})
+	if rt.flight != nil {
+		sp := &a.span
+		sp.ID = a.id
+		sp.Run = rt.runID
+		sp.Kind = kind
+		sp.Stream = s.name
+		sp.Domain = s.domain.spec.Name
+		sp.Label = a.label
+		sp.Bytes = a.bytes
+		sp.Flops = a.cost.Flops
+		sp.Err = err != nil
+		sp.Enqueue = a.tEnqueue
+		sp.Ready = a.tReady
+		sp.Launch = a.start
+		sp.Finish = a.end
+		sp.Deps = a.deps
+		// Host-as-target transfers alias instances and move nothing,
+		// so only card-domain transfers name a link direction.
+		if !s.domain.IsHost() {
+			host := rt.domains[0].spec.Name
+			switch a.kind {
+			case ActXferToSink:
+				sp.Src, sp.Dst = host, sp.Domain
+			case ActXferToSrc:
+				sp.Src, sp.Dst = sp.Domain, host
+			}
+		}
+		rt.flight.Record(sp)
+	}
 	close(a.done)
 	rt.notifyFinish(a)
 	for _, r := range ready {

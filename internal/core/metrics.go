@@ -33,30 +33,32 @@ func metricKind(k ActKind) int {
 // Per-stream handles are resolved once at StreamCreate (streamMetrics)
 // so the per-action path is pure atomic adds.
 type coreMetrics struct {
-	enqueued  *metrics.CounterVec   // kind, domain
-	actions   *metrics.CounterVec   // kind, domain
-	errors    *metrics.Counter      // first-error and every subsequent one
-	duration  *metrics.HistogramVec // kind, domain: launch→finish
-	stall     *metrics.HistogramVec // kind, domain: enqueue→ready (dependency stall)
-	sched     *metrics.HistogramVec // kind, domain: ready→launch (scheduler/resource latency)
-	depth     *metrics.GaugeVec     // stream: current incomplete-action window
-	depthPeak *metrics.GaugeVec     // stream: high-water mark of the window
-	linkBytes *metrics.CounterVec   // src, dst: payload bytes per link direction
-	linkXfers *metrics.CounterVec   // src, dst: transfers per link direction
+	enqueued      *metrics.CounterVec   // kind, domain
+	actions       *metrics.CounterVec   // kind, domain
+	errors        *metrics.Counter      // every action error
+	errSuppressed *metrics.Counter      // errors after the first (not reported by Err)
+	duration      *metrics.HistogramVec // kind, domain: launch→finish
+	stall         *metrics.HistogramVec // kind, domain: enqueue→ready (dependency stall)
+	sched         *metrics.HistogramVec // kind, domain: ready→launch (scheduler/resource latency)
+	depth         *metrics.GaugeVec     // stream: current incomplete-action window
+	depthPeak     *metrics.GaugeVec     // stream: high-water mark of the window
+	linkBytes     *metrics.CounterVec   // src, dst: payload bytes per link direction
+	linkXfers     *metrics.CounterVec   // src, dst: transfers per link direction
 }
 
 func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
 	return &coreMetrics{
-		enqueued:  reg.CounterVec("hstreams_actions_enqueued_total", "Actions accepted into streams by kind and sink domain.", "kind", "domain"),
-		actions:   reg.CounterVec("hstreams_actions_total", "Actions completed by kind and sink domain.", "kind", "domain"),
-		errors:    reg.Counter("hstreams_action_errors_total", "Actions that completed with an error."),
-		duration:  reg.HistogramVec("hstreams_action_duration_seconds", "Action execution time (launch to finish) by kind and sink domain.", nil, "kind", "domain"),
-		stall:     reg.HistogramVec("hstreams_dep_stall_seconds", "Time actions spent blocked on dependences (enqueue to ready).", nil, "kind", "domain"),
-		sched:     reg.HistogramVec("hstreams_sched_latency_seconds", "Time from dependence resolution to execution start (resource contention).", nil, "kind", "domain"),
-		depth:     reg.GaugeVec("hstreams_queue_depth", "Enqueued-but-incomplete actions per stream.", "stream"),
-		depthPeak: reg.GaugeVec("hstreams_queue_depth_peak", "High-water mark of hstreams_queue_depth per stream.", "stream"),
-		linkBytes: reg.CounterVec("hstreams_link_bytes_total", "Payload bytes moved per link direction.", "src", "dst"),
-		linkXfers: reg.CounterVec("hstreams_link_transfers_total", "Transfers per link direction.", "src", "dst"),
+		enqueued:      reg.CounterVec("hstreams_actions_enqueued_total", "Actions accepted into streams by kind and sink domain.", "kind", "domain"),
+		actions:       reg.CounterVec("hstreams_actions_total", "Actions completed by kind and sink domain.", "kind", "domain"),
+		errors:        reg.Counter("hstreams_action_errors_total", "Actions that completed with an error."),
+		errSuppressed: reg.Counter("hstreams_errors_suppressed_total", "Action errors observed after the first; Runtime.Err reports only the first."),
+		duration:      reg.HistogramVec("hstreams_action_duration_seconds", "Action execution time (launch to finish) by kind and sink domain.", nil, "kind", "domain"),
+		stall:         reg.HistogramVec("hstreams_dep_stall_seconds", "Time actions spent blocked on dependences (enqueue to ready).", nil, "kind", "domain"),
+		sched:         reg.HistogramVec("hstreams_sched_latency_seconds", "Time from dependence resolution to execution start (resource contention).", nil, "kind", "domain"),
+		depth:         reg.GaugeVec("hstreams_queue_depth", "Enqueued-but-incomplete actions per stream.", "stream"),
+		depthPeak:     reg.GaugeVec("hstreams_queue_depth_peak", "High-water mark of hstreams_queue_depth per stream.", "stream"),
+		linkBytes:     reg.CounterVec("hstreams_link_bytes_total", "Payload bytes moved per link direction.", "src", "dst"),
+		linkXfers:     reg.CounterVec("hstreams_link_transfers_total", "Transfers per link direction.", "src", "dst"),
 	}
 }
 

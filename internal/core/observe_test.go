@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"hstreams/internal/metrics"
+	"hstreams/internal/platform"
+	"hstreams/internal/trace"
+)
+
+// TestFirstErrorPreserved is the regression test for Runtime.setErr:
+// the first action error must survive later failures, later errors
+// must count in hstreams_errors_suppressed_total, and every failure in
+// hstreams_action_errors_total.
+func TestFirstErrorPreserved(t *testing.T) {
+	reg := metrics.New()
+	rt, err := Init(Config{Machine: platform.HSWPlusKNC(0), Mode: ModeReal, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Fini()
+	rt.RegisterKernel("boom1", func(ctx *KernelCtx) { panic("boom1") })
+	rt.RegisterKernel("boom2", func(ctx *KernelCtx) { panic("boom2") })
+	s, err := rt.StreamCreate(rt.Host(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Alloc1D("b", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The InOut hazard on b serializes the two failures, so boom1
+	// always completes (and fails) first.
+	a1, err := s.EnqueueCompute("boom1", nil, []Operand{b.All(InOut)}, platform.Cost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.EnqueueCompute("boom2", nil, []Operand{b.All(InOut)}, platform.Cost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Wait(); err == nil || !strings.Contains(err.Error(), "boom1") {
+		t.Fatalf("a1.Wait() = %v, want boom1 panic", err)
+	}
+	if err := a2.Wait(); err == nil || !strings.Contains(err.Error(), "boom2") {
+		t.Fatalf("a2.Wait() = %v, want boom2 panic", err)
+	}
+	if err := rt.Err(); err == nil || !strings.Contains(err.Error(), "boom1") {
+		t.Fatalf("Err() = %v, want the first failure (boom1)", err)
+	}
+	if got := reg.Total("hstreams_action_errors_total"); got != 2 {
+		t.Fatalf("errors_total = %v, want 2", got)
+	}
+	if got := reg.Total("hstreams_errors_suppressed_total"); got != 1 {
+		t.Fatalf("errors_suppressed_total = %v, want 1", got)
+	}
+}
+
+// orderObserver checks the Observer hook contract per action: events
+// arrive as enqueue → ready → launch → finish, with non-decreasing
+// timestamps, and no transition is skipped or repeated.
+type orderObserver struct {
+	mu    sync.Mutex
+	phase map[uint64]int // last phase seen: 1 enqueue, 2 ready, 3 launch, 4 finish
+	when  map[uint64]int64
+	errs  []string
+}
+
+func newOrderObserver() *orderObserver {
+	return &orderObserver{phase: map[uint64]int{}, when: map[uint64]int64{}}
+}
+
+func (o *orderObserver) on(ev metrics.Event, phase int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if got := o.phase[ev.Action]; got != phase-1 {
+		o.errs = append(o.errs, fmt.Sprintf("action %d: phase %d after phase %d", ev.Action, phase, got))
+	}
+	if w := int64(ev.When); w < o.when[ev.Action] {
+		o.errs = append(o.errs, fmt.Sprintf("action %d: phase %d time %d regressed below %d", ev.Action, phase, w, o.when[ev.Action]))
+	} else {
+		o.when[ev.Action] = w
+	}
+	o.phase[ev.Action] = phase
+}
+
+func (o *orderObserver) OnEnqueue(ev metrics.Event) { o.on(ev, 1) }
+func (o *orderObserver) OnReady(ev metrics.Event)   { o.on(ev, 2) }
+func (o *orderObserver) OnLaunch(ev metrics.Event)  { o.on(ev, 3) }
+func (o *orderObserver) OnFinish(ev metrics.Event)  { o.on(ev, 4) }
+
+// check asserts every started action finished and no ordering
+// violation was recorded.
+func (o *orderObserver) check(t *testing.T, wantActions int) {
+	t.Helper()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, e := range o.errs {
+		t.Error(e)
+	}
+	if len(o.phase) != wantActions {
+		t.Errorf("observed %d actions, want %d", len(o.phase), wantActions)
+	}
+	for id, ph := range o.phase {
+		if ph != 4 {
+			t.Errorf("action %d stopped at phase %d, want 4 (finish)", id, ph)
+		}
+	}
+}
+
+// driveObserved runs a dependence-heavy workload over several streams
+// of rt: per stream, transfer → chain of hazard-serialized computes →
+// transfer, plus a cross-stream event wait.
+func driveObserved(t *testing.T, rt *Runtime) int {
+	t.Helper()
+	const streams, chain = 3, 8
+	var last *Action
+	actions := 0
+	for i := 0; i < streams; i++ {
+		d := rt.Host()
+		if rt.NumCards() > 0 {
+			d = rt.Card(i % rt.NumCards())
+		}
+		s, err := rt.StreamCreate(d, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rt.Alloc1D(fmt.Sprintf("b%d", i), 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.EnqueueXferAll(b, ToSink); err != nil {
+			t.Fatal(err)
+		}
+		actions++
+		for j := 0; j < chain; j++ {
+			a, err := s.EnqueueCompute("step", nil, []Operand{b.All(InOut)},
+				platform.Cost{Kernel: platform.KDGEMM, Flops: 1e6, N: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			actions++
+			last = a
+		}
+		if last != nil && i > 0 {
+			if _, err := s.EnqueueEventWait(last); err != nil {
+				t.Fatal(err)
+			}
+			actions++
+		}
+		if _, err := s.EnqueueXferAll(b, ToSource); err != nil {
+			t.Fatal(err)
+		}
+		actions++
+	}
+	rt.ThreadSynchronize()
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return actions
+}
+
+func TestObserverOrderingContractReal(t *testing.T) {
+	rt, err := Init(Config{Machine: platform.HSWPlusKNC(2), Mode: ModeReal, Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Fini()
+	rt.RegisterKernel("step", func(ctx *KernelCtx) {
+		for i := range ctx.Ops[0] {
+			ctx.Ops[0][i]++
+		}
+	})
+	obs := newOrderObserver()
+	rt.AddObserver(obs)
+	n := driveObserved(t, rt)
+	obs.check(t, n)
+}
+
+func TestObserverOrderingContractSim(t *testing.T) {
+	rt, err := Init(Config{Machine: platform.HSWPlusKNC(2), Mode: ModeSim, Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Fini()
+	obs := newOrderObserver()
+	rt.AddObserver(obs)
+	n := driveObserved(t, rt)
+	obs.check(t, n)
+}
+
+// TestSpanCapture checks the flight-recorder integration: completed
+// actions appear as spans with ordered phase timestamps and the causal
+// edges the scheduler actually enforced.
+func TestSpanCapture(t *testing.T) {
+	flight := trace.NewFlight(256)
+	rt, err := Init(Config{Machine: platform.HSWPlusKNC(1), Mode: ModeSim, Metrics: metrics.New(), Flight: flight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Fini()
+	s, err := rt.StreamCreate(rt.Card(0), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rt.StreamCreate(rt.Card(0), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Alloc1D("b", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := s.EnqueueXferAll(b, ToSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.EnqueueCompute("dgemm", nil, []Operand{b.All(InOut)},
+		platform.Cost{Kernel: platform.KDGEMM, Flops: 1e9, N: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.EnqueueEventWait(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnqueueMarker(); err != nil {
+		t.Fatal(err)
+	}
+	rt.ThreadSynchronize()
+
+	spans := trace.FilterRun(flight.Snapshot(), rt.RunID())
+	if len(spans) != 4 {
+		t.Fatalf("recorded %d spans, want 4", len(spans))
+	}
+	byID := map[uint64]trace.Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		if sp.Enqueue > sp.Ready || sp.Ready > sp.Launch || sp.Launch > sp.Finish {
+			t.Fatalf("span %d phases out of order: %+v", sp.ID, sp)
+		}
+	}
+	// The transfer names its link direction; the compute depends on it
+	// via the operand hazard.
+	upSpan := byID[up.ID()]
+	if upSpan.Src != "HSW" || upSpan.Dst != "KNC0" {
+		t.Fatalf("transfer span link = %s→%s, want HSW→KNC0", upSpan.Src, upSpan.Dst)
+	}
+	cSpan := byID[c.ID()]
+	if len(cSpan.Deps) != 1 || cSpan.Deps[0].ID != up.ID() || cSpan.Deps[0].Why != trace.DepFIFO {
+		t.Fatalf("compute deps = %+v, want one fifo edge from %d", cSpan.Deps, up.ID())
+	}
+	var sawEvent, sawSync bool
+	for _, sp := range spans {
+		for _, d := range sp.Deps {
+			switch d.Why {
+			case trace.DepEvent:
+				sawEvent = true
+			case trace.DepSync:
+				sawSync = true
+			}
+		}
+	}
+	if !sawEvent || !sawSync {
+		t.Fatalf("dep kinds: event=%v sync=%v, want both", sawEvent, sawSync)
+	}
+}
+
+// TestDisableCausalTrace checks the ablation: no spans, no dep
+// recording, and Flight() reports nil.
+func TestDisableCausalTrace(t *testing.T) {
+	flight := trace.NewFlight(256)
+	rt, err := Init(Config{
+		Machine: platform.HSWPlusKNC(1), Mode: ModeSim, Metrics: metrics.New(),
+		Flight: flight, DisableCausalTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Fini()
+	if rt.Flight() != nil {
+		t.Fatal("Flight() should be nil when tracing is disabled")
+	}
+	s, err := rt.StreamCreate(rt.Card(0), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Alloc1D("b", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnqueueXferAll(b, ToSink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnqueueCompute("k", nil, []Operand{b.All(InOut)}, platform.Cost{Flops: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	rt.ThreadSynchronize()
+	if n := flight.Total(); n != 0 {
+		t.Fatalf("flight recorded %d spans with tracing disabled", n)
+	}
+}
+
+// TestLiveRuntimesRegistry checks Init/Fini registration.
+func TestLiveRuntimesRegistry(t *testing.T) {
+	before := len(LiveRuntimes())
+	rt, err := Init(Config{Machine: platform.HSWPlusKNC(0), Mode: ModeSim, Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range LiveRuntimes() {
+		if r == rt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("initialized runtime missing from LiveRuntimes")
+	}
+	rt.Fini()
+	if got := len(LiveRuntimes()); got != before {
+		t.Fatalf("LiveRuntimes after Fini = %d, want %d", got, before)
+	}
+}
+
+// TestStatusSnapshot checks the debug status API on a quiesced Sim
+// runtime.
+func TestStatusSnapshot(t *testing.T) {
+	rt, err := Init(Config{Machine: platform.HSWPlusKNC(1), Mode: ModeSim, Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Fini()
+	s, err := rt.StreamCreate(rt.Card(0), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Alloc1D("b", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnqueueXferAll(b, ToSink); err != nil {
+		t.Fatal(err)
+	}
+	rt.ThreadSynchronize()
+	st := rt.Status()
+	if st.Run != rt.RunID() || st.Mode != "sim" {
+		t.Fatalf("Status = %+v", st)
+	}
+	if len(st.Streams) != 1 || st.Streams[0].Name != s.Name() || st.Streams[0].Depth != 0 {
+		t.Fatalf("Status.Streams = %+v", st.Streams)
+	}
+	if st.Outstanding != 0 {
+		t.Fatalf("Outstanding = %d, want 0", st.Outstanding)
+	}
+}

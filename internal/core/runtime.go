@@ -89,6 +89,17 @@ type Config struct {
 	// many runtimes accumulate one view; tests that assert on counts
 	// should pass their own registry.
 	Metrics *metrics.Registry
+	// Flight receives completed-action causal spans — the four phase
+	// timestamps (enqueue → ready → launch → finish) plus the causal
+	// in-edges that gated each action — into a lock-free ring buffer
+	// readable while the runtime works (trace.FlightRecorder). Nil
+	// uses the process-wide trace.DefaultFlight(), mirroring Metrics.
+	Flight *trace.FlightRecorder
+	// DisableCausalTrace turns span capture off entirely: no
+	// dependence recording, no ring writes. This is the ablation the
+	// trace-overhead benchmark guard measures; leave it off in
+	// production — the recorder is designed to stay on.
+	DisableCausalTrace bool
 }
 
 // Kernel is a sink-side compute entry point. Operand slices arrive in
@@ -114,6 +125,8 @@ type Runtime struct {
 	machine *platform.Machine
 	domains []*Domain
 	rec     *trace.Recorder
+	flight  *trace.FlightRecorder // nil when causal tracing is off
+	runID   uint64
 	reg     *metrics.Registry
 	mets    *coreMetrics
 	obs     atomic.Pointer[[]metrics.Observer]
@@ -164,9 +177,16 @@ func Init(cfg Config) (*Runtime, error) {
 		cfg:       cfg,
 		machine:   cfg.Machine,
 		rec:       trace.New(),
+		runID:     nextRunID.Add(1),
 		reg:       reg,
 		kernels:   make(map[string]Kernel),
 		kernelIDs: make(map[string]int64),
+	}
+	if !cfg.DisableCausalTrace {
+		rt.flight = cfg.Flight
+		if rt.flight == nil {
+			rt.flight = trace.DefaultFlight()
+		}
 	}
 	rt.mets = newCoreMetrics(reg)
 	for i, spec := range cfg.Machine.Domains() {
@@ -183,6 +203,7 @@ func Init(cfg Config) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
 	}
+	registerLive(rt)
 	return rt, nil
 }
 
@@ -223,6 +244,7 @@ func (rt *Runtime) Fini() {
 	rt.finalized = true
 	procs := rt.procs
 	rt.mu.Unlock()
+	unregisterLive(rt)
 	rt.exec.fini()
 	for _, p := range procs {
 		if p != nil {
@@ -237,8 +259,33 @@ func (rt *Runtime) Machine() *platform.Machine { return rt.machine }
 // Mode returns the execution mode.
 func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
 
+func (m Mode) String() string {
+	switch m {
+	case ModeReal:
+		return "real"
+	case ModeSim:
+		return "sim"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
 // Trace returns the runtime's timeline recorder.
 func (rt *Runtime) Trace() *trace.Recorder { return rt.rec }
+
+// Flight returns the flight recorder this runtime records causal
+// spans into — the one supplied via Config.Flight, or the
+// process-wide trace.DefaultFlight(). Nil when Config.DisableCausalTrace
+// turned capture off. It stays readable after Fini.
+func (rt *Runtime) Flight() *trace.FlightRecorder { return rt.flight }
+
+// RunID returns this runtime instance's process-unique id — the value
+// spans carry in trace.Span.Run, letting analysis separate schedules
+// when many runtimes share one flight recorder.
+func (rt *Runtime) RunID() uint64 { return rt.runID }
+
+// nextRunID numbers runtime instances process-wide.
+var nextRunID atomic.Uint64
 
 // Now returns the current time on the executor's clock — wall time
 // since Init in Real mode, virtual time in Sim mode.
@@ -395,7 +442,11 @@ func (rt *Runtime) ChargeSource(d time.Duration) {
 	rt.mu.Unlock()
 }
 
-// setErr records the first action error.
+// setErr records the first action error, which Err reports. Later
+// errors never displace it — a cascade usually roots in the first
+// failure — but they are not silently dropped either: each one counts
+// in hstreams_errors_suppressed_total (every error, first included,
+// already counts in hstreams_action_errors_total).
 func (rt *Runtime) setErr(err error) {
 	if err == nil {
 		return
@@ -403,6 +454,9 @@ func (rt *Runtime) setErr(err error) {
 	rt.mu.Lock()
 	if rt.firstErr == nil {
 		rt.firstErr = err
+		rt.mu.Unlock()
+		return
 	}
 	rt.mu.Unlock()
+	rt.mets.errSuppressed.Inc()
 }

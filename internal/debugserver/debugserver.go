@@ -1,0 +1,212 @@
+// Package debugserver is the live observability endpoint: one opt-in
+// HTTP server (hsbench/hsinfo -debug-addr) exposing the process's
+// telemetry while runs are in flight — Prometheus metrics, Go pprof
+// profiles, the causal-span flight recorder as a Chrome trace, stream
+// queue snapshots, and the critical-path analysis of the latest run.
+//
+// Everything served here is read-only and safe to hit while the
+// runtime works: the metrics registry and flight recorder are
+// lock-free, and runtime status snapshots take the runtime lock only
+// briefly.
+package debugserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"hstreams/internal/core"
+	"hstreams/internal/fabric"
+	"hstreams/internal/metrics"
+	"hstreams/internal/trace"
+)
+
+// Options configures Start. Every field defaults to the process-wide
+// instance, which is what the CLIs use.
+type Options struct {
+	// Registry serves /metrics. Nil uses metrics.Default().
+	Registry *metrics.Registry
+	// Flight serves /debug/trace and /debug/critpath. Nil uses
+	// trace.DefaultFlight().
+	Flight *trace.FlightRecorder
+	// Runtimes enumerates the runtimes /debug/streams reports on.
+	// Nil uses core.LiveRuntimes.
+	Runtimes func() []*core.Runtime
+}
+
+// Server is a running debug server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds addr (e.g. "127.0.0.1:6060"; port 0 picks a free port)
+// and serves the debug endpoints in a background goroutine until
+// Close.
+func Start(addr string, opt Options) (*Server, error) {
+	if opt.Registry == nil {
+		opt.Registry = metrics.Default()
+	}
+	if opt.Flight == nil {
+		opt.Flight = trace.DefaultFlight()
+	}
+	if opt.Runtimes == nil {
+		opt.Runtimes = core.LiveRuntimes
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: newMux(opt)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, useful when Start was given port 0.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler returns the debug mux without binding a listener (tests).
+func Handler(opt Options) http.Handler {
+	if opt.Registry == nil {
+		opt.Registry = metrics.Default()
+	}
+	if opt.Flight == nil {
+		opt.Flight = trace.DefaultFlight()
+	}
+	if opt.Runtimes == nil {
+		opt.Runtimes = core.LiveRuntimes
+	}
+	return newMux(opt)
+}
+
+func newMux(opt Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", indexHandler)
+	mux.Handle("/metrics", opt.Registry)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", traceHandler(opt.Flight))
+	mux.HandleFunc("/debug/streams", streamsHandler(opt.Runtimes, opt.Flight))
+	mux.HandleFunc("/debug/critpath", critpathHandler(opt.Flight))
+	return mux
+}
+
+func indexHandler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `hstreams debug server
+
+  /metrics              Prometheus exposition (?format=json for JSON)
+  /debug/pprof/         Go runtime profiles
+  /debug/trace          flight recorder as Chrome trace JSON (load in Perfetto;
+                        ?run=N for one run, default all retained spans)
+  /debug/streams        live stream queues + link traffic as JSON
+  /debug/critpath       critical-path report of the latest run
+                        (?format=json for the full report, ?run=N to pick a run)
+`)
+}
+
+// parseRun reads an optional ?run=N selector; 0 means "latest".
+func parseRun(r *http.Request) (uint64, error) {
+	q := r.URL.Query().Get("run")
+	if q == "" {
+		return 0, nil
+	}
+	var run uint64
+	if _, err := fmt.Sscanf(q, "%d", &run); err != nil || run == 0 {
+		return 0, fmt.Errorf("bad run %q", q)
+	}
+	return run, nil
+}
+
+func traceHandler(f *trace.FlightRecorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		run, err := parseRun(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans := f.Snapshot()
+		if run != 0 {
+			spans = trace.FilterRun(spans, run)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="hstreams-trace.json"`)
+		_ = trace.WriteChromeSpans(w, spans)
+	}
+}
+
+// streamsPayload is the /debug/streams response document.
+type streamsPayload struct {
+	Now      time.Time        `json:"now"`
+	Runtimes []runtimePayload `json:"runtimes"`
+	Flight   flightPayload    `json:"flight"`
+}
+
+type runtimePayload struct {
+	core.RuntimeStatus
+	Links []fabric.LinkStat `json:"links,omitempty"`
+}
+
+type flightPayload struct {
+	Cap     int    `json:"cap"`
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+}
+
+func streamsHandler(runtimes func() []*core.Runtime, f *trace.FlightRecorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		doc := streamsPayload{
+			Now:    time.Now(),
+			Flight: flightPayload{Cap: f.Cap(), Total: f.Total(), Dropped: f.Dropped()},
+		}
+		for _, rt := range runtimes() {
+			doc.Runtimes = append(doc.Runtimes, runtimePayload{
+				RuntimeStatus: rt.Status(),
+				Links:         rt.LinkStats(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	}
+}
+
+func critpathHandler(f *trace.FlightRecorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		run, err := parseRun(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans := f.Snapshot()
+		if run != 0 {
+			spans = trace.FilterRun(spans, run)
+		} else {
+			spans = trace.LatestRun(spans)
+		}
+		rep := trace.Analyze(spans)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(rep)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rep.Format())
+	}
+}

@@ -1,0 +1,226 @@
+package debugserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hstreams/internal/core"
+	"hstreams/internal/metrics"
+	"hstreams/internal/platform"
+	"hstreams/internal/trace"
+)
+
+// runProbe drives a transfer → compute → transfer chain on one card
+// stream so every endpoint has data to serve.
+func runProbe(t *testing.T, reg *metrics.Registry, flight *trace.FlightRecorder) *core.Runtime {
+	t.Helper()
+	rt, err := core.Init(core.Config{
+		Machine: platform.HSWPlusKNC(1),
+		Mode:    core.ModeSim,
+		Metrics: reg,
+		Flight:  flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rt.StreamCreate(rt.Card(0), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Alloc1D("probe", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnqueueXferAll(b, core.ToSink); err != nil {
+		t.Fatal(err)
+	}
+	cost := platform.Cost{Kernel: platform.KDGEMM, Flops: 1e9, Bytes: 1 << 20, N: 512}
+	if _, err := s.EnqueueCompute("k", nil, []core.Operand{b.All(core.InOut)}, cost); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnqueueXferAll(b, core.ToSource); err != nil {
+		t.Fatal(err)
+	}
+	rt.ThreadSynchronize()
+	return rt
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := metrics.New()
+	flight := trace.NewFlight(1024)
+	rt := runProbe(t, reg, flight)
+	defer rt.Fini()
+
+	srv := httptest.NewServer(Handler(Options{
+		Registry: reg,
+		Flight:   flight,
+		Runtimes: func() []*core.Runtime { return []*core.Runtime{rt} },
+	}))
+	defer srv.Close()
+
+	if body := get(t, srv, "/"); !strings.Contains(body, "/debug/critpath") {
+		t.Fatalf("index missing endpoint listing:\n%s", body)
+	}
+	if body := get(t, srv, "/metrics"); !strings.Contains(body, "hstreams_actions_total") {
+		t.Fatalf("/metrics missing action counters:\n%s", body)
+	}
+	if body := get(t, srv, "/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ missing profile index:\n%s", body)
+	}
+
+	var chrome []map[string]any
+	body := get(t, srv, "/debug/trace")
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("/debug/trace not valid JSON: %v\n%s", err, body)
+	}
+	var flows int
+	for _, ev := range chrome {
+		if ev["ph"] == "s" {
+			flows++
+		}
+	}
+	if flows == 0 {
+		t.Fatalf("/debug/trace has no flow (dependency) events:\n%s", body)
+	}
+
+	var streams struct {
+		Runtimes []struct {
+			Run     uint64 `json:"run"`
+			Mode    string `json:"mode"`
+			Streams []struct {
+				Name  string `json:"name"`
+				Depth int    `json:"depth"`
+			} `json:"streams"`
+			Links []struct {
+				Src   string `json:"src"`
+				Bytes int64  `json:"bytes"`
+			} `json:"links"`
+		} `json:"runtimes"`
+		Flight struct {
+			Total uint64 `json:"total"`
+		} `json:"flight"`
+	}
+	body = get(t, srv, "/debug/streams")
+	if err := json.Unmarshal([]byte(body), &streams); err != nil {
+		t.Fatalf("/debug/streams not valid JSON: %v\n%s", err, body)
+	}
+	if len(streams.Runtimes) != 1 || streams.Runtimes[0].Mode != "sim" {
+		t.Fatalf("/debug/streams runtimes = %+v", streams.Runtimes)
+	}
+	if len(streams.Runtimes[0].Streams) != 1 {
+		t.Fatalf("/debug/streams streams = %+v", streams.Runtimes[0].Streams)
+	}
+	if len(streams.Runtimes[0].Links) == 0 {
+		t.Fatal("/debug/streams missing link stats")
+	}
+	if streams.Flight.Total == 0 {
+		t.Fatal("/debug/streams flight.total = 0, want recorded spans")
+	}
+
+	if body := get(t, srv, "/debug/critpath"); !strings.Contains(body, "critical path") {
+		t.Fatalf("/debug/critpath missing report:\n%s", body)
+	}
+	var rep trace.CritReport
+	body = get(t, srv, "/debug/critpath?format=json")
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/debug/critpath?format=json: %v\n%s", err, body)
+	}
+	if rep.Makespan <= 0 || rep.CategorySum() != rep.Makespan {
+		t.Fatalf("critpath JSON: makespan %v, category sum %v", rep.Makespan, rep.CategorySum())
+	}
+
+	// Bad run selectors are rejected, unknown paths 404.
+	if resp, err := http.Get(srv.URL + "/debug/critpath?run=x"); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad run selector: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(srv.URL + "/nosuch"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestStatusWhileRunning hits /debug/streams concurrently with a
+// Real-mode runtime that is actively executing, exercising the
+// lock-discipline of the status snapshot under -race.
+func TestStatusWhileRunning(t *testing.T) {
+	reg := metrics.New()
+	flight := trace.NewFlight(1024)
+	rt, err := core.Init(core.Config{
+		Machine: platform.HSWPlusKNC(1),
+		Mode:    core.ModeReal,
+		Metrics: reg,
+		Flight:  flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Fini()
+	rt.RegisterKernel("spin", func(ctx *core.KernelCtx) {
+		for i := range ctx.Ops[0] {
+			ctx.Ops[0][i]++
+		}
+	})
+	s, err := rt.StreamCreate(rt.Card(0), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Alloc1D("b", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(Handler(Options{
+		Registry: reg,
+		Flight:   flight,
+		Runtimes: func() []*core.Runtime { return []*core.Runtime{rt} },
+	}))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if _, err := s.EnqueueXferAll(b, core.ToSink); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := s.EnqueueCompute("spin", nil, []core.Operand{b.All(core.InOut)}, platform.Cost{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		rt.ThreadSynchronize()
+	}()
+	for i := 0; i < 10; i++ {
+		get(t, srv, "/debug/streams")
+		get(t, srv, "/metrics")
+	}
+	<-done
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,7 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -117,6 +118,49 @@ func (f *Fabric) LinkBetween(a, b *Node) (*Link, error) {
 		return l, nil
 	}
 	return nil, ErrNotConnected
+}
+
+// LinkStat is one direction of one link in a LinkStats snapshot.
+type LinkStat struct {
+	Src       string        `json:"src"`
+	Dst       string        `json:"dst"`
+	Transfers int64         `json:"transfers"`
+	Bytes     int64         `json:"bytes"`
+	Modeled   time.Duration `json:"modeled"`
+}
+
+// LinkStats snapshots traffic accounting for every link direction,
+// ordered by (src, dst) name so output is deterministic. The debug
+// server includes it in /debug/streams.
+func (f *Fabric) LinkStats() []LinkStat {
+	f.mu.Lock()
+	links := make([]*Link, 0, len(f.links))
+	for _, l := range f.links {
+		links = append(links, l)
+	}
+	f.mu.Unlock()
+	out := make([]LinkStat, 0, 2*len(links))
+	for _, l := range links {
+		l.mu.Lock()
+		for dir, ends := range [2][2]*Node{{l.a, l.b}, {l.b, l.a}} {
+			s := l.stats[dir]
+			out = append(out, LinkStat{
+				Src:       ends[0].name,
+				Dst:       ends[1].name,
+				Transfers: s.Transfers,
+				Bytes:     s.Bytes,
+				Modeled:   s.ModeledTime,
+			})
+		}
+		l.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
 }
 
 func linkKey(a, b int) [2]int {

@@ -1,0 +1,330 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PathStep is one action on the critical path, with its makespan
+// segment decomposed into the three phases the action spent it on.
+// The segment [Arrive, Span.Finish) is the slice of the makespan this
+// action bounds: Arrive is the binding predecessor's finish (or the
+// action's own enqueue when nothing earlier gated it).
+type PathStep struct {
+	Span   Span          `json:"span"`
+	Arrive time.Duration `json:"arrive"`
+	// Stall is dependency-wait inside the segment (arrive → ready),
+	// Sched is scheduler/resource latency (ready → launch), Exec is
+	// execution (launch → finish).
+	Stall time.Duration `json:"stall"`
+	Sched time.Duration `json:"sched"`
+	Exec  time.Duration `json:"exec"`
+}
+
+// Category attribution names.
+const (
+	CatCompute  = "compute"
+	CatTransfer = "transfer"
+	CatSync     = "sync"
+	CatStall    = "dep-stall"
+	CatSched    = "sched-latency"
+	CatSource   = "source-enqueue"
+)
+
+// SlackEntry reports how much an off-path action could slip without
+// stretching the makespan.
+type SlackEntry struct {
+	ID     uint64        `json:"id"`
+	Label  string        `json:"label"`
+	Stream string        `json:"stream"`
+	Slack  time.Duration `json:"slack"`
+}
+
+// CritReport is the result of critical-path analysis over one run's
+// completed-action DAG: the longest weighted chain of causally
+// ordered actions, with every makespan nanosecond attributed to a
+// category, plus slack for everything off the path.
+type CritReport struct {
+	Run      uint64        `json:"run"`
+	Spans    int           `json:"spans"`
+	Origin   time.Duration `json:"origin"`   // earliest enqueue
+	Makespan time.Duration `json:"makespan"` // origin → last finish
+
+	// Categories attribute the whole makespan; values sum to
+	// Makespan exactly (the path walk partitions [Origin, last
+	// finish) into contiguous segments).
+	Categories map[string]time.Duration `json:"categories"`
+	// ByDomain attributes on-path compute time per domain; ByLink
+	// attributes on-path transfer time per "src→dst" link direction.
+	ByDomain map[string]time.Duration `json:"by_domain,omitempty"`
+	ByLink   map[string]time.Duration `json:"by_link,omitempty"`
+
+	Steps []PathStep `json:"steps"`
+	// Slack lists the off-path actions closest to criticality
+	// (smallest slack first, capped).
+	Slack []SlackEntry `json:"slack,omitempty"`
+	// NearCritical counts off-path actions with slack under 1% of
+	// the makespan — the ones a perturbation would promote.
+	NearCritical int `json:"near_critical"`
+}
+
+// maxSlackEntries caps the slack listing in reports.
+const maxSlackEntries = 10
+
+// Analyze extracts the critical path from one run's spans: starting
+// at the action that finishes last, it repeatedly walks to the
+// predecessor whose completion bound the current action's segment —
+// the binding in-edge — until it reaches an action gated only by its
+// own enqueue. Each segment is split into dependency stall, scheduler
+// latency and execution, and execution is attributed per kind, domain
+// and link. Pass spans of a single run (see LatestRun); an empty or
+// mixed-run slice yields a best-effort report.
+func Analyze(spans []Span) *CritReport {
+	rep := &CritReport{
+		Categories: map[string]time.Duration{},
+		ByDomain:   map[string]time.Duration{},
+		ByLink:     map[string]time.Duration{},
+	}
+	if len(spans) == 0 {
+		return rep
+	}
+	byID := make(map[uint64]*Span, len(spans))
+	origin := spans[0].Enqueue
+	tail := &spans[0]
+	for i := range spans {
+		s := &spans[i]
+		byID[s.ID] = s
+		if s.Enqueue < origin {
+			origin = s.Enqueue
+		}
+		if s.Finish > tail.Finish || (s.Finish == tail.Finish && s.ID > tail.ID) {
+			tail = s
+		}
+	}
+	rep.Run = tail.Run
+	rep.Spans = len(spans)
+	rep.Origin = origin
+	rep.Makespan = tail.Finish - origin
+
+	// Backward walk along binding in-edges.
+	onPath := map[uint64]bool{}
+	cur := tail
+	for {
+		onPath[cur.ID] = true
+		var pred *Span
+		for _, d := range cur.Deps {
+			p, ok := byID[d.ID]
+			if !ok {
+				continue // evicted from the ring; degrade gracefully
+			}
+			if pred == nil || p.Finish > pred.Finish ||
+				(p.Finish == pred.Finish && p.ID > pred.ID) {
+				pred = p
+			}
+		}
+		arrive := cur.Enqueue
+		if pred != nil && pred.Finish > arrive {
+			arrive = pred.Finish
+		}
+		// Clamp phases into the segment: Real-mode timestamps can
+		// skew by scheduling noise relative to the predecessor's.
+		ready := clamp(cur.Ready, arrive, cur.Finish)
+		launch := clamp(cur.Launch, ready, cur.Finish)
+		step := PathStep{
+			Span:   *cur,
+			Arrive: arrive,
+			Stall:  ready - arrive,
+			Sched:  launch - ready,
+			Exec:   cur.Finish - launch,
+		}
+		rep.Steps = append(rep.Steps, step)
+		rep.Categories[CatStall] += step.Stall
+		rep.Categories[CatSched] += step.Sched
+		switch cur.Kind {
+		case Compute:
+			rep.Categories[CatCompute] += step.Exec
+			rep.ByDomain[cur.Domain] += step.Exec
+		case Transfer:
+			rep.Categories[CatTransfer] += step.Exec
+			if cur.Src != "" {
+				rep.ByLink[cur.Src+"→"+cur.Dst] += step.Exec
+			}
+		default:
+			rep.Categories[CatSync] += step.Exec
+		}
+		if pred == nil || pred.Finish <= cur.Enqueue {
+			// Root: gated by the source thread, not by a dependence.
+			rep.Categories[CatSource] += cur.Enqueue - origin
+			break
+		}
+		cur = pred
+	}
+	// Steps were collected tail-first; present them in time order.
+	for i, j := 0, len(rep.Steps)-1; i < j; i, j = i+1, j-1 {
+		rep.Steps[i], rep.Steps[j] = rep.Steps[j], rep.Steps[i]
+	}
+
+	rep.slack(spans, byID, onPath, tail.Finish)
+	return rep
+}
+
+// slack runs the CPM backward pass: an action's latest finish is the
+// minimum over its successors of (successor latest finish − successor
+// execution time); slack is latest finish − actual finish.
+func (rep *CritReport) slack(spans []Span, byID map[uint64]*Span, onPath map[uint64]bool, last time.Duration) {
+	succs := map[uint64][]uint64{}
+	for i := range spans {
+		for _, d := range spans[i].Deps {
+			if _, ok := byID[d.ID]; ok {
+				succs[d.ID] = append(succs[d.ID], spans[i].ID)
+			}
+		}
+	}
+	// Action IDs increase in enqueue order and dependences point
+	// backwards, so descending-ID order is a reverse topological
+	// order of the DAG.
+	order := make([]*Span, 0, len(spans))
+	for i := range spans {
+		order = append(order, &spans[i])
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].ID > order[j].ID })
+	lf := make(map[uint64]time.Duration, len(spans))
+	var entries []SlackEntry
+	for _, s := range order {
+		l := last
+		for _, succ := range succs[s.ID] {
+			sl := lf[succ] - byID[succ].Dur()
+			if sl < l {
+				l = sl
+			}
+		}
+		lf[s.ID] = l
+		if onPath[s.ID] {
+			continue
+		}
+		slack := l - s.Finish
+		if slack < 0 {
+			slack = 0
+		}
+		if slack < rep.Makespan/100 {
+			rep.NearCritical++
+		}
+		entries = append(entries, SlackEntry{ID: s.ID, Label: s.Label, Stream: s.Stream, Slack: slack})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Slack != entries[j].Slack {
+			return entries[i].Slack < entries[j].Slack
+		}
+		return entries[i].ID < entries[j].ID
+	})
+	if len(entries) > maxSlackEntries {
+		entries = entries[:maxSlackEntries]
+	}
+	rep.Slack = entries
+}
+
+func clamp(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CategorySum totals all category attributions; it equals Makespan by
+// construction, which the harnesses assert.
+func (rep *CritReport) CategorySum() time.Duration {
+	var sum time.Duration
+	for _, d := range rep.Categories {
+		sum += d
+	}
+	return sum
+}
+
+// Format renders the report for humans.
+func (rep *CritReport) Format() string {
+	var sb strings.Builder
+	if len(rep.Steps) == 0 {
+		return "critical path: (no spans recorded)\n"
+	}
+	fmt.Fprintf(&sb, "critical path: %d of %d actions bound a %v makespan (run %d)\n",
+		len(rep.Steps), rep.Spans, rep.Makespan, rep.Run)
+	fmt.Fprintf(&sb, "  category attribution (sums to makespan):\n")
+	for _, c := range []string{CatCompute, CatTransfer, CatStall, CatSched, CatSource, CatSync} {
+		d := rep.Categories[c]
+		if d == 0 && c != CatCompute {
+			continue
+		}
+		fmt.Fprintf(&sb, "    %-14s %12v  %5.1f%%\n", c, d, pct(d, rep.Makespan))
+	}
+	if len(rep.ByDomain) > 0 {
+		fmt.Fprintf(&sb, "  on-path compute by domain:")
+		for _, k := range sortedKeys(rep.ByDomain) {
+			fmt.Fprintf(&sb, "  %s %v", k, rep.ByDomain[k])
+		}
+		sb.WriteByte('\n')
+	}
+	if len(rep.ByLink) > 0 {
+		fmt.Fprintf(&sb, "  on-path transfer by link:")
+		for _, k := range sortedKeys(rep.ByLink) {
+			fmt.Fprintf(&sb, "  %s %v", k, rep.ByLink[k])
+		}
+		sb.WriteByte('\n')
+	}
+	// The heaviest steps tell the tuning story; cap the listing.
+	const maxSteps = 12
+	heavy := append([]PathStep(nil), rep.Steps...)
+	sort.SliceStable(heavy, func(i, j int) bool {
+		return heavy[i].Stall+heavy[i].Sched+heavy[i].Exec > heavy[j].Stall+heavy[j].Sched+heavy[j].Exec
+	})
+	if len(heavy) > maxSteps {
+		heavy = heavy[:maxSteps]
+	}
+	fmt.Fprintf(&sb, "  heaviest path steps (of %d):\n", len(rep.Steps))
+	for _, st := range heavy {
+		name := st.Span.Label
+		if name == "" {
+			name = st.Span.Kind.String()
+		}
+		fmt.Fprintf(&sb, "    #%-6d %-24s %-12s exec %10v  stall %10v  sched %10v\n",
+			st.Span.ID, truncate(name, 24), st.Span.Stream, st.Exec, st.Stall, st.Sched)
+	}
+	if n := len(rep.Slack); n > 0 {
+		fmt.Fprintf(&sb, "  off-path slack (smallest first, %d within 1%% of critical):", rep.NearCritical)
+		for i, e := range rep.Slack {
+			if i == 5 {
+				break
+			}
+			fmt.Fprintf(&sb, "  #%d %v", e.ID, e.Slack)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func pct(d, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(d) / float64(total)
+}
+
+func sortedKeys(m map[string]time.Duration) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// chainSpans builds the canonical pipeline DAG:
+//
+//	1: xfer   [0,10ms]           (enqueued at 0)
+//	2: dgemm  [10,40ms]  dep 1   (enqueued at 1ms, stalls 9ms)
+//	3: xfer   [40,50ms]  dep 2   (enqueued at 2ms)
+//	4: dgemm  [5,20ms]           (independent, off path)
+func chainSpans() []Span {
+	return []Span{
+		{ID: 1, Run: 1, Kind: Transfer, Stream: "c.s0", Domain: "KNC0", Src: "HSW", Dst: "KNC0",
+			Enqueue: 0, Ready: 0, Launch: 0, Finish: ms(10), Bytes: 1 << 20},
+		{ID: 2, Run: 1, Kind: Compute, Stream: "c.s0", Domain: "KNC0", Label: "dgemm",
+			Enqueue: ms(1), Ready: ms(10), Launch: ms(10), Finish: ms(40),
+			Deps: []Dep{{ID: 1, Why: DepFIFO}}},
+		{ID: 3, Run: 1, Kind: Transfer, Stream: "c.s0", Domain: "KNC0", Src: "KNC0", Dst: "HSW",
+			Enqueue: ms(2), Ready: ms(40), Launch: ms(40), Finish: ms(50),
+			Deps: []Dep{{ID: 2, Why: DepFIFO}}},
+		{ID: 4, Run: 1, Kind: Compute, Stream: "h.s0", Domain: "HSW", Label: "side",
+			Enqueue: ms(5), Ready: ms(5), Launch: ms(5), Finish: ms(20)},
+	}
+}
+
+func TestAnalyzeCriticalPath(t *testing.T) {
+	rep := Analyze(chainSpans())
+	if rep.Makespan != ms(50) {
+		t.Fatalf("Makespan = %v, want 50ms", rep.Makespan)
+	}
+	if len(rep.Steps) != 3 {
+		t.Fatalf("path length = %d, want 3", len(rep.Steps))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if rep.Steps[i].Span.ID != want {
+			t.Fatalf("Steps[%d].ID = %d, want %d", i, rep.Steps[i].Span.ID, want)
+		}
+	}
+	if got := rep.CategorySum(); got != rep.Makespan {
+		t.Fatalf("CategorySum = %v, want exactly makespan %v", got, rep.Makespan)
+	}
+	if got := rep.Categories[CatCompute]; got != ms(30) {
+		t.Fatalf("compute = %v, want 30ms", got)
+	}
+	if got := rep.Categories[CatTransfer]; got != ms(20) {
+		t.Fatalf("transfer = %v, want 20ms", got)
+	}
+	if got := rep.Categories[CatStall]; got != 0 {
+		t.Fatalf("dep-stall = %v, want 0 (chain is tight)", got)
+	}
+	if got := rep.ByDomain["KNC0"]; got != ms(30) {
+		t.Fatalf("ByDomain[KNC0] = %v, want 30ms", got)
+	}
+	if got := rep.ByLink["HSW→KNC0"]; got != ms(10) {
+		t.Fatalf("ByLink[HSW→KNC0] = %v, want 10ms", got)
+	}
+	if got := rep.ByLink["KNC0→HSW"]; got != ms(10) {
+		t.Fatalf("ByLink[KNC0→HSW] = %v, want 10ms", got)
+	}
+}
+
+func TestAnalyzeStallAndSlack(t *testing.T) {
+	spans := chainSpans()
+	// Delay the final transfer's launch: ready at 40ms but launched
+	// at 44ms (scheduler latency), finishing at 54ms.
+	spans[2].Launch, spans[2].Finish = ms(44), ms(54)
+	rep := Analyze(spans)
+	if got := rep.Categories[CatSched]; got != ms(4) {
+		t.Fatalf("sched-latency = %v, want 4ms", got)
+	}
+	if got := rep.CategorySum(); got != rep.Makespan {
+		t.Fatalf("CategorySum = %v, want %v", got, rep.Makespan)
+	}
+	// The off-path action (id 4) has no successors: its slack is
+	// makespan end minus its finish.
+	if len(rep.Slack) != 1 || rep.Slack[0].ID != 4 {
+		t.Fatalf("Slack = %+v, want exactly action 4", rep.Slack)
+	}
+	if got := rep.Slack[0].Slack; got != ms(34) {
+		t.Fatalf("slack(4) = %v, want 34ms", got)
+	}
+}
+
+func TestAnalyzeMissingPredecessorDegrades(t *testing.T) {
+	spans := chainSpans()[1:] // span 1 evicted from the ring
+	rep := Analyze(spans)
+	// The walk cannot cross the missing edge: it roots at span 2 and
+	// the pre-enqueue time lands in source-enqueue.
+	if len(rep.Steps) != 2 {
+		t.Fatalf("path length = %d, want 2", len(rep.Steps))
+	}
+	if got := rep.CategorySum(); got != rep.Makespan {
+		t.Fatalf("CategorySum = %v, want %v", got, rep.Makespan)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(nil)
+	if rep.Makespan != 0 || len(rep.Steps) != 0 {
+		t.Fatalf("empty analysis = %+v, want zero report", rep)
+	}
+	if !strings.Contains(rep.Format(), "no spans") {
+		t.Fatal("empty Format should say so")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	rep := Analyze(chainSpans())
+	out := rep.Format()
+	for _, want := range []string{"critical path", CatCompute, CatTransfer, "dgemm", "KNC0", "HSW→KNC0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnalyzeRealModeSkewClamped feeds timestamps with Real-mode
+// clock skew (predecessor finish slightly after successor ready) and
+// checks the attribution never goes negative.
+func TestAnalyzeRealModeSkewClamped(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Run: 1, Kind: Compute, Stream: "s", Domain: "d",
+			Enqueue: 0, Ready: 0, Launch: 0, Finish: ms(10)},
+		{ID: 2, Run: 1, Kind: Compute, Stream: "s", Domain: "d",
+			Enqueue: ms(1), Ready: ms(9), Launch: ms(9) + 500*time.Microsecond, Finish: ms(20),
+			Deps: []Dep{{ID: 1, Why: DepFIFO}}},
+	}
+	rep := Analyze(spans)
+	for c, d := range rep.Categories {
+		if d < 0 {
+			t.Fatalf("category %s went negative: %v", c, d)
+		}
+	}
+	if got := rep.CategorySum(); got != rep.Makespan {
+		t.Fatalf("CategorySum = %v, want %v", got, rep.Makespan)
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func span(id uint64, deps ...Dep) *Span {
+	return &Span{ID: id, Run: 1, Stream: "s0", Deps: deps}
+}
+
+func TestFlightRecordSnapshot(t *testing.T) {
+	f := NewFlight(4)
+	for i := uint64(1); i <= 3; i++ {
+		f.Record(span(i))
+	}
+	got := f.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(got))
+	}
+	for i, s := range got {
+		if s.ID != uint64(i+1) {
+			t.Fatalf("Snapshot[%d].ID = %d, want %d (oldest first)", i, s.ID, i+1)
+		}
+	}
+	if f.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", f.Dropped())
+	}
+}
+
+func TestFlightWrapsKeepingNewest(t *testing.T) {
+	f := NewFlight(4)
+	for i := uint64(1); i <= 10; i++ {
+		f.Record(span(i))
+	}
+	got := f.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(got))
+	}
+	for i, s := range got {
+		if s.ID != uint64(i+7) {
+			t.Fatalf("Snapshot[%d].ID = %d, want %d", i, s.ID, i+7)
+		}
+	}
+	if f.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", f.Dropped())
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", f.Total())
+	}
+	f.Reset()
+	if n := len(f.Snapshot()); n != 0 {
+		t.Fatalf("post-Reset Snapshot len = %d, want 0", n)
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(span(1)) // must not panic
+	if f.Snapshot() != nil || f.Cap() != 0 || f.Total() != 0 || f.Dropped() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+	f.Reset()
+}
+
+func TestFlightCapacityRounding(t *testing.T) {
+	if got := NewFlight(5).Cap(); got != 8 {
+		t.Fatalf("Cap = %d, want 8", got)
+	}
+	if got := NewFlight(0).Cap(); got != defaultFlightCap {
+		t.Fatalf("default Cap = %d, want %d", got, defaultFlightCap)
+	}
+}
+
+// TestFlightConcurrentRecord exercises the lock-free ring from many
+// goroutines; run under -race this is the "stays on in production"
+// safety check.
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlight(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record(span(uint64(g*1000 + i)))
+				if i%50 == 0 {
+					f.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Total() != 1600 {
+		t.Fatalf("Total = %d, want 1600", f.Total())
+	}
+	if n := len(f.Snapshot()); n != 64 {
+		t.Fatalf("Snapshot len = %d, want 64", n)
+	}
+}
+
+func TestLatestRunFilters(t *testing.T) {
+	spans := []Span{{ID: 1, Run: 1}, {ID: 2, Run: 2}, {ID: 3, Run: 2}}
+	got := LatestRun(spans)
+	if len(got) != 2 || got[0].Run != 2 || got[1].Run != 2 {
+		t.Fatalf("LatestRun = %+v, want the two run-2 spans", got)
+	}
+	if n := len(FilterRun(spans, 1)); n != 1 {
+		t.Fatalf("FilterRun(1) len = %d, want 1", n)
+	}
+}
+
+func TestWriteChromeSpansFlowEvents(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Run: 3, Kind: Transfer, Stream: "c.s0", Domain: "KNC0", Src: "HSW", Dst: "KNC0",
+			Enqueue: 0, Ready: 0, Launch: 0, Finish: ms(10), Bytes: 64},
+		{ID: 2, Run: 3, Kind: Compute, Stream: "c.s1", Domain: "KNC0", Label: "dgemm",
+			Enqueue: ms(1), Ready: ms(10), Launch: ms(10), Finish: ms(30), Flops: 100,
+			Deps: []Dep{{ID: 1, Why: DepEvent}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"ph":"s"`, `"ph":"f"`, `"bp":"e"`, `"cat":"event"`,
+		`"ph":"X"`, `"dgemm"`, `"process_name"`, `"thread_name"`, `"run 3"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome spans output missing %s:\n%s", want, out)
+		}
+	}
+	// Exactly one flow pair for the single dependence edge.
+	if n := strings.Count(out, `"ph":"s"`); n != 1 {
+		t.Fatalf("flow starts = %d, want 1", n)
+	}
+}

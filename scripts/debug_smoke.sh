@@ -1,0 +1,64 @@
+#!/bin/sh
+# debug_smoke.sh — boot hsbench with the live debug server and assert
+# every endpoint answers 200 with plausible content.
+#
+# Run from the repository root (make debug-smoke). Uses only sh, curl
+# and the go toolchain; the server binds an ephemeral port so the
+# smoke test never conflicts with a real deployment.
+set -eu
+
+log=$(mktemp)
+trap 'kill $pid 2>/dev/null || true; rm -f "$log"' EXIT INT TERM
+
+# -debug-linger keeps the process (and server) alive after the figure
+# finishes so we can probe a fully-populated flight recorder.
+go run ./cmd/hsbench -fig 3 -debug-addr 127.0.0.1:0 -debug-linger 60s >"$log" 2>&1 &
+pid=$!
+
+# The bound address is printed once the listener is up.
+addr=""
+for _ in $(seq 1 120); do
+    addr=$(sed -n 's,^debug server listening on http://,,p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 $pid 2>/dev/null || { echo "hsbench exited early:"; cat "$log"; exit 1; }
+    sleep 0.5
+done
+if [ -z "$addr" ]; then
+    echo "debug server never announced its address:"; cat "$log"; exit 1
+fi
+echo "debug server at $addr"
+
+# Wait for the run to finish so /debug/trace and /debug/critpath have
+# spans to serve (every hsbench run ends with a telemetry summary).
+for _ in $(seq 1 120); do
+    grep -q "^telemetry:" "$log" && break
+    sleep 0.5
+done
+
+fail=0
+body=$(mktemp)
+trap 'kill $pid 2>/dev/null || true; rm -f "$log" "$body"' EXIT INT TERM
+probe() { # path  substring-expected-in-body
+    path=$1; want=$2
+    code=$(curl -sS --max-time 10 -o "$body" -w '%{http_code}' "http://$addr$path") || {
+        echo "FAIL $path: curl error"; fail=1; return
+    }
+    if [ "$code" != 200 ]; then
+        echo "FAIL $path: HTTP $code"; fail=1; return
+    fi
+    if grep -q "$want" "$body"; then
+        echo "ok   $path"
+    else
+        echo "FAIL $path: body lacks '$want'"; fail=1
+    fi
+}
+
+probe /                     /debug/critpath
+probe /metrics              hstreams_actions_total
+probe /debug/pprof/         goroutine
+probe /debug/trace          '"ph"'
+probe /debug/streams        '"flight"'
+probe /debug/critpath       'critical path'
+probe '/debug/critpath?format=json' '"makespan"'
+
+exit $fail
