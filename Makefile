@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt golden debug-smoke check bench clean
+.PHONY: all build test race vet fmt golden debug-smoke check bench clean \
+	bench-sched bench-sched-guard bench-sched-smoke
 
 all: build
 
@@ -36,11 +37,29 @@ debug-smoke:
 	./scripts/debug_smoke.sh
 
 # check is the pre-commit gate: build, vet, formatting, the exposition
-# golden, then tests under the race detector.
-check: build vet fmt golden race
+# golden, tests under the race detector, then a single-shot scheduler
+# throughput smoke (function, not timing — the timing gate is
+# bench-sched-guard).
+check: build vet fmt golden race bench-sched-smoke
 
 bench:
 	$(GO) run ./cmd/hsbench -fig all
+
+# bench-sched measures scheduler actions/sec (best-of-N sampling lives
+# in the test) and rewrites BENCH_sched_throughput.json; commit the
+# result when the scheduler intentionally changes speed.
+bench-sched:
+	$(GO) test -run 'TestSchedThroughputArtifact$$' -count=1 -v .
+
+# bench-sched-guard fails if a fresh measurement regresses >10%
+# against the committed artifact.
+bench-sched-guard:
+	./scripts/bench_sched.sh
+
+# bench-sched-smoke runs each throughput case once to prove the
+# benchmark workload still executes cleanly.
+bench-sched-smoke:
+	$(GO) test -bench SchedThroughput -benchtime 1x -run '^$$' .
 
 clean:
 	$(GO) clean ./...

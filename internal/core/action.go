@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hstreams/internal/platform"
@@ -60,16 +62,24 @@ type Action struct {
 	// Transfer payload.
 	bytes int64
 
-	// Scheduling state, guarded by rt.mu.
-	npend int
-	succs []*Action
-	state actState
+	// Scheduling state. succs, lastSucc and slot are guarded by the
+	// owning stream's lock (for succs/lastSucc that is the lock of
+	// *this* action's stream — successors are registered while holding
+	// the predecessor's stream lock). npend and state are atomic: a
+	// predecessor in another stream decrements npend without taking
+	// this stream's lock, and exactly one decrement-to-zero launches.
+	npend    atomic.Int64
+	succs    []*Action
+	lastSucc uint64 // id of the newest successor; O(1) dedup stamp
+	slot     int    // index in stream.inflight; O(1) swap retirement
+	state    atomic.Int32
 
 	// deps records the causal in-edges for the flight recorder
-	// (why this action waited); written at enqueue under rt.mu,
-	// read at finish. Nil when causal tracing is off. depbuf backs
-	// the common few-edge case so recording deps usually allocates
-	// nothing; append spills to the heap past its capacity.
+	// (why this action waited); written at enqueue by the enqueuing
+	// goroutine, read at finish (ordered by the launch handoff). Nil
+	// when causal tracing is off. depbuf backs the common few-edge
+	// case so recording deps usually allocates nothing; append spills
+	// to the heap past its capacity.
 	deps   []trace.Dep
 	depbuf [8]trace.Dep
 	// span is the flight-recorder entry, embedded here so recording a
@@ -87,19 +97,31 @@ type Action struct {
 	tEnqueue time.Duration
 	tReady   time.Duration
 
-	// Results.
-	done       chan struct{}
-	err        error
-	start, end time.Duration
+	// Results. fin flips after err and the timestamps are in place;
+	// doneCh is allocated lazily by the first waiter, so the hot path
+	// (most actions are never waited on individually) allocates no
+	// channel at all — see Done for the fin/doneCh ordering dance.
+	fin      atomic.Bool
+	doneCh   atomic.Pointer[chan struct{}]
+	doneOnce sync.Once
+	err      error
+	start    time.Duration
+	end      time.Duration
 }
 
-type actState int
+type actState = int32
 
 const (
 	statePending actState = iota
 	stateLaunched
 	stateDone
 )
+
+// completed reports the scheduler-internal done state; unlike the
+// public Completed it is meant for use under the stream lock that
+// finish holds while storing stateDone, so index pruning and addDep
+// see a consistent value.
+func (a *Action) completed() bool { return a.state.Load() == stateDone }
 
 // ID returns the action's runtime-unique id.
 func (a *Action) ID() uint64 { return a.id }
@@ -110,18 +132,39 @@ func (a *Action) Kind() ActKind { return a.kind }
 // Stream returns the stream the action was enqueued into.
 func (a *Action) Stream() *Stream { return a.stream }
 
-// Done returns a channel closed when the action completes.
-func (a *Action) Done() <-chan struct{} { return a.done }
+// closedDone is the shared already-closed channel handed to waiters
+// that arrive after completion without a channel ever being registered.
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Done returns a channel closed when the action completes. The channel
+// is allocated on first call — enqueueing an action no longer pays for
+// a channel nobody waits on. Publication races with finish: both sides
+// run the close under doneOnce, and the fin/doneCh access order (finish
+// stores fin then loads doneCh; Done publishes doneCh then loads fin)
+// guarantees at least one side closes a channel registered either way.
+func (a *Action) Done() <-chan struct{} {
+	if p := a.doneCh.Load(); p != nil {
+		return *p
+	}
+	if a.fin.Load() {
+		return closedDone
+	}
+	ch := make(chan struct{})
+	if !a.doneCh.CompareAndSwap(nil, &ch) {
+		return *a.doneCh.Load()
+	}
+	if a.fin.Load() {
+		a.doneOnce.Do(func() { close(ch) })
+	}
+	return ch
+}
 
 // Completed reports whether the action has finished.
-func (a *Action) Completed() bool {
-	select {
-	case <-a.done:
-		return true
-	default:
-		return false
-	}
-}
+func (a *Action) Completed() bool { return a.fin.Load() }
 
 // Err returns the action's error; valid after completion.
 func (a *Action) Err() error { return a.err }
@@ -140,6 +183,13 @@ func (a *Action) Times() (start, end time.Duration) { return a.start, a.end }
 // enqueue computes dependences under the FIFO-semantic rule and hands
 // ready actions to the executor. extraDeps carry cross-stream event
 // waits.
+//
+// Dependence discovery queries the stream's operand-interval index
+// (depindex.go) instead of scanning the inflight window, and the only
+// locks taken are the enqueuing stream's — plus, briefly, the stream
+// lock of each explicit cross-stream dependence — so enqueues on
+// different streams never contend. At most one stream lock is held at
+// any moment, which rules out lock-order deadlocks by construction.
 func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 	for _, o := range a.ops {
 		if !o.valid() {
@@ -149,104 +199,116 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 			return nil, ErrWrongRuntime
 		}
 	}
-	s := a.stream
-	rt.mu.Lock()
-	if rt.finalized {
-		rt.mu.Unlock()
+	for _, d := range extraDeps {
+		if d.stream.rt != rt {
+			return nil, ErrWrongRuntime
+		}
+	}
+	if rt.finalized.Load() {
 		return nil, ErrFinalized
 	}
-	if s.destroyed {
-		rt.mu.Unlock()
-		return nil, ErrBadStream
-	}
-	rt.nextID++
-	a.id = rt.nextID
-	a.done = make(chan struct{})
+	s := a.stream
+	a.id = rt.nextID.Add(1)
+	// Hold one pending token until the OnEnqueue hook has fired:
+	// without it a predecessor finishing on another goroutine could
+	// launch this action — and notify OnReady/OnLaunch — before its
+	// OnEnqueue, breaking the per-action hook ordering contract.
+	a.npend.Store(1)
 
 	// Sim-mode source thread accounting: each enqueue call costs
 	// SourceOverhead on the host thread. (The host clock advances on
 	// waits, not with the engine, which may be pumped ahead.)
 	if rt.cfg.Mode == ModeSim {
 		se := rt.exec.(*simExec)
+		se.mu.Lock()
 		se.hostTime += rt.cfg.SourceOverhead
 		a.ready = se.hostTime
 		a.tEnqueue = se.hostTime
+		se.mu.Unlock()
 	} else {
 		a.tEnqueue = rt.exec.now()
 	}
 
-	// Dependences: program order within the stream, restricted to
-	// hazardous operand overlap; sync actions order against
-	// everything (paper §II: actions are free to execute and complete
-	// out of order as long as the FIFO semantic is not violated).
+	// addDep links a behind predecessor b. Must run while holding b's
+	// stream lock; tolerates duplicates (the lastSucc stamp replaces
+	// the seed's linear succs scan) and completed predecessors.
+	nDeps := 0
+	capture := rt.flight != nil
 	addDep := func(b *Action, why trace.DepKind) {
-		if b.state == stateDone || b == a {
+		if b == a || b.completed() || b.lastSucc == a.id {
 			return
 		}
-		for _, existing := range b.succs {
-			if existing == a {
-				return
-			}
-		}
+		b.lastSucc = a.id
 		b.succs = append(b.succs, a)
-		a.npend++
-		if rt.flight != nil {
+		a.npend.Add(1)
+		nDeps++
+		if capture {
 			if a.deps == nil {
 				a.deps = a.depbuf[:0]
 			}
 			a.deps = append(a.deps, trace.Dep{ID: b.id, Why: why})
 		}
 	}
-	for _, b := range s.inflight {
-		if a.kind == ActSync || b.kind == ActSync {
-			addDep(b, trace.DepSync)
-			continue
-		}
-		if hazard(a, b) {
-			addDep(b, trace.DepFIFO)
-		}
-	}
-	for _, d := range extraDeps {
-		if d.stream.rt != rt {
-			rt.mu.Unlock()
-			return nil, ErrWrongRuntime
-		}
-		addDep(d, trace.DepEvent)
-	}
-	s.inflight = append(s.inflight, a)
-	depth := len(s.inflight)
-	rt.outstanding++
-	hadDeps := a.npend > 0
-	// Hold one extra pending token until the OnEnqueue hook has fired:
-	// without it a predecessor finishing on another goroutine could
-	// launch this action — and notify OnReady/OnLaunch — before its
-	// OnEnqueue, breaking the per-action hook ordering contract.
-	a.npend++
-	rt.mu.Unlock()
+	fifoDep := func(b *Action) { addDep(b, trace.DepFIFO) }
 
+	s.mu.Lock()
+	if s.destroyed {
+		s.mu.Unlock()
+		return nil, ErrBadStream
+	}
+	// Dependences: program order within the stream, restricted to
+	// hazardous operand overlap; sync actions order against
+	// everything (paper §II: actions are free to execute and complete
+	// out of order as long as the FIFO semantic is not violated).
+	if a.kind == ActSync {
+		for _, b := range s.inflight {
+			addDep(b, trace.DepSync)
+		}
+		// The barrier dominates everything before it: later actions
+		// depend on it alone, and the epoch bump lazily invalidates
+		// every operand interval (depindex.go).
+		s.barrier = a
+		s.epoch++
+	} else {
+		if bar := s.barrier; bar != nil {
+			addDep(bar, trace.DepSync)
+		}
+		for _, o := range a.ops {
+			s.depScan(a, o, fifoDep)
+		}
+	}
+	a.slot = len(s.inflight)
+	s.inflight = append(s.inflight, a)
+	s.mu.Unlock()
+
+	for _, d := range extraDeps {
+		ds := d.stream
+		ds.mu.Lock()
+		addDep(d, trace.DepEvent)
+		ds.mu.Unlock()
+	}
+
+	rt.outstanding.Add(1)
+	depth := s.ndepth.Add(1)
 	k := metricKind(a.kind)
 	s.met.enq[k].Inc()
-	s.met.depth.Set(int64(depth))
-	s.met.depthPeak.SetMax(int64(depth))
+	s.met.depth.Add(1)
+	s.met.depthPeak.SetMax(depth)
 	rt.notifyEnqueue(a)
 
-	rt.mu.Lock()
-	a.npend--
-	launch := a.npend == 0 && a.state == statePending
-	if launch {
-		a.state = stateLaunched
+	// Release the hook-ordering token; the decrement that lands on
+	// zero — here or in a predecessor's finish — launches, exactly
+	// once.
+	if a.npend.Add(-1) == 0 {
+		a.state.Store(stateLaunched)
 		switch {
-		case !hadDeps:
+		case nDeps == 0:
 			a.tReady = a.tEnqueue
 		case rt.cfg.Mode == ModeSim:
 			a.tReady = a.ready
 		default:
 			a.tReady = rt.exec.now()
 		}
-	}
-	rt.mu.Unlock()
-
-	if launch {
 		rt.notifyReadyLaunch(a)
 		rt.exec.launch(a)
 	}
@@ -256,53 +318,28 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 	return a, nil
 }
 
-// hazard reports whether two actions' operand sets conflict.
-func hazard(a, b *Action) bool {
-	for _, oa := range a.ops {
-		for _, ob := range b.ops {
-			if oa.hazardWith(ob) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // finish completes an action: records the trace, retires it from its
-// stream, and launches any successors whose last dependence this was.
+// stream in O(1) by swapping the last inflight entry into its slot,
+// and launches any successors whose last dependence this was.
 // Executors call it exactly once per action.
 func (rt *Runtime) finish(a *Action, err error) {
-	rt.mu.Lock()
-	a.err = err
-	a.state = stateDone
 	s := a.stream
-	for i, x := range s.inflight {
-		if x == a {
-			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
-			break
-		}
+	s.mu.Lock()
+	a.err = err
+	a.state.Store(stateDone)
+	last := len(s.inflight) - 1
+	i := a.slot
+	moved := s.inflight[last]
+	s.inflight[i] = moved
+	moved.slot = i
+	s.inflight[last] = nil
+	s.inflight = s.inflight[:last]
+	if s.barrier == a {
+		s.barrier = nil
 	}
-	depth := len(s.inflight)
-	var ready []*Action
-	for _, succ := range a.succs {
-		// Successors may start no earlier than this completion; the
-		// Sim executor reads the propagated ready time rather than
-		// the engine clock, so the clock can be pumped ahead safely.
-		if succ.ready < a.end {
-			succ.ready = a.end
-		}
-		succ.npend--
-		if succ.npend == 0 && succ.state == statePending {
-			succ.state = stateLaunched
-			if rt.cfg.Mode == ModeSim {
-				succ.tReady = succ.ready
-			} else {
-				succ.tReady = rt.exec.now()
-			}
-			ready = append(ready, succ)
-		}
-	}
-	rt.outstanding--
+	// Interval-index entries owned by a stay behind; queries prune
+	// them lazily now that completed() reports done (depindex.go).
+	succs := a.succs
 	// Retired actions may be pinned for a long time by the flight
 	// recorder (the ring stores &a.span); drop the execution payload so
 	// a pinned action does not keep successors, operands, and kernel
@@ -311,10 +348,36 @@ func (rt *Runtime) finish(a *Action, err error) {
 	a.ops = nil
 	a.kernelFn = nil
 	a.args = nil
-	rt.mu.Unlock()
+	s.mu.Unlock()
+
+	rt.outstanding.Add(-1)
+	s.ndepth.Add(-1)
+	s.met.depth.Add(-1)
+
+	sim := rt.cfg.Mode == ModeSim
+	var ready []*Action
+	for _, succ := range succs {
+		// Successors may start no earlier than this completion; the
+		// Sim executor reads the propagated ready time rather than
+		// the engine clock, so the clock can be pumped ahead safely.
+		// (ready is only touched in Sim mode, where everything runs
+		// on the single host goroutine.)
+		if sim && succ.ready < a.end {
+			succ.ready = a.end
+		}
+		if succ.npend.Add(-1) == 0 {
+			succ.state.Store(stateLaunched)
+			if sim {
+				succ.tReady = succ.ready
+			} else {
+				succ.tReady = rt.exec.now()
+			}
+			ready = append(ready, succ)
+		}
+	}
 
 	rt.setErr(err)
-	rt.observeFinish(a, err, depth)
+	rt.observeFinish(a, err)
 	kind := trace.Compute
 	switch a.kind {
 	case ActXferToSink, ActXferToSrc:
@@ -362,7 +425,11 @@ func (rt *Runtime) finish(a *Action, err error) {
 		}
 		rt.flight.Record(sp)
 	}
-	close(a.done)
+	a.fin.Store(true)
+	if p := a.doneCh.Load(); p != nil {
+		ch := *p
+		a.doneOnce.Do(func() { close(ch) })
+	}
 	rt.notifyFinish(a)
 	for _, r := range ready {
 		rt.notifyReadyLaunch(r)

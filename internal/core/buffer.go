@@ -34,7 +34,7 @@ func (rt *Runtime) Alloc1D(name string, size int64) (*Buf, error) {
 		return nil, ErrBadBufferSize
 	}
 	rt.mu.Lock()
-	if rt.finalized {
+	if rt.finalized.Load() {
 		rt.mu.Unlock()
 		return nil, ErrFinalized
 	}

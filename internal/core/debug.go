@@ -117,16 +117,17 @@ func (rt *Runtime) LinkStats() []fabric.LinkStat {
 // snapshot so a deep queue cannot balloon the debug response.
 const maxInflightStatus = 64
 
-// Status snapshots the runtime under its lock. It is safe to call from
-// any goroutine while the runtime works — in Sim mode "now" is the
-// mu-guarded host clock, never the engine clock, which only the
-// pumping host goroutine may read.
+// Status snapshots the runtime, taking each stream's lock in turn —
+// never more than one at once. It is safe to call from any goroutine
+// while the runtime works — in Sim mode "now" is the locked host
+// clock, never the engine clock, which only the pumping host goroutine
+// may read.
 func (rt *Runtime) Status() RuntimeStatus {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	var now time.Duration
 	if se, ok := rt.exec.(*simExec); ok {
+		se.mu.Lock()
 		now = se.hostTime
+		se.mu.Unlock()
 	} else {
 		now = rt.exec.now()
 	}
@@ -134,25 +135,34 @@ func (rt *Runtime) Status() RuntimeStatus {
 		Run:         rt.runID,
 		Mode:        rt.cfg.Mode.String(),
 		Now:         now,
-		Outstanding: rt.outstanding,
-		Finalized:   rt.finalized,
+		Outstanding: int(rt.outstanding.Load()),
+		Finalized:   rt.finalized.Load(),
 	}
+	rt.mu.Lock()
+	streams := rt.streams
 	if rt.firstErr != nil {
 		st.Err = rt.firstErr.Error()
 	}
-	for _, s := range rt.streams {
+	rt.mu.Unlock()
+	for _, s := range streams {
+		s.mu.Lock()
 		ss := StreamStatus{
 			Name:      s.name,
 			Domain:    s.domain.spec.Name,
 			Destroyed: s.destroyed,
 			Depth:     len(s.inflight),
 		}
-		for _, a := range s.inflight {
+		// inflight is unordered (swap retirement); snapshot then sort
+		// by id so the report reads in enqueue order.
+		snap := append([]*Action(nil), s.inflight...)
+		s.mu.Unlock()
+		sort.Slice(snap, func(i, j int) bool { return snap[i].id < snap[j].id })
+		for _, a := range snap {
 			if len(ss.Inflight) == maxInflightStatus {
 				break
 			}
 			state := "pending"
-			if a.state == stateLaunched {
+			if a.state.Load() == stateLaunched {
 				state = "launched"
 			}
 			ss.Inflight = append(ss.Inflight, ActionStatus{
@@ -160,7 +170,7 @@ func (rt *Runtime) Status() RuntimeStatus {
 				Kind:    a.kind.String(),
 				Label:   a.label,
 				State:   state,
-				Pending: a.npend,
+				Pending: int(a.npend.Load()),
 				Enqueue: a.tEnqueue,
 				Age:     now - a.tEnqueue,
 			})

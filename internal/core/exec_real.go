@@ -13,8 +13,8 @@ import (
 // registered kernel.
 const trampolineName = "hs.kernel"
 
-// realExec runs actions for real: kernels execute on goroutines,
-// card-domain computes travel through the COI pipeline of their
+// realExec runs actions for real: kernels execute on per-domain worker
+// pools, card-domain computes travel through the COI pipeline of their
 // stream, transfers move bytes over the fabric. Computes within one
 // stream serialize (they own the stream's cores); transfers use
 // per-link-direction DMA serialization, so compute/transfer overlap
@@ -24,18 +24,112 @@ type realExec struct {
 	epoch time.Time
 	// dma[i] serializes the two DMA directions of domain i.
 	dma []*[2]sync.Mutex
+	// pools[i] runs domain i's actions. The seed spawned a goroutine
+	// per action; small-action streams then paid a goroutine start +
+	// exit on every launch and could pile up unbounded runnable
+	// goroutines. A fixed pool sized to the domain keeps dispatch at
+	// one queue push.
+	pools []*workerPool
+	// scratch recycles the per-compute slices (host operand views,
+	// card wire args and COI buffer lists) that the seed allocated on
+	// every action.
+	scratch sync.Pool
 }
 
 func newRealExec(rt *Runtime) *realExec {
 	re := &realExec{rt: rt, epoch: time.Now()}
 	re.dma = make([]*[2]sync.Mutex, len(rt.domains))
-	for i := range re.dma {
+	re.pools = make([]*workerPool, len(rt.domains))
+	for i, d := range rt.domains {
 		re.dma[i] = &[2]sync.Mutex{}
+		re.pools[i] = newWorkerPool(re, poolWorkers(d.spec.Cores()))
 	}
+	re.scratch.New = func() any { return new(execScratch) }
 	return re
 }
 
-func (re *realExec) launch(a *Action) { go re.run(a) }
+// poolWorkers sizes a domain's pool: one worker per core (workers
+// mostly block on computeMu/DMA mutexes, so matching the core count
+// keeps every physical resource feedable) within sane bounds.
+func poolWorkers(cores int) int {
+	switch {
+	case cores < 4:
+		return 4
+	case cores > 32:
+		return 32
+	default:
+		return cores
+	}
+}
+
+// workerPool is a fixed set of goroutines draining an unbounded FIFO.
+// The queue is deliberately unbounded: workers call Runtime.finish,
+// which launches successors back into pools — a bounded channel could
+// deadlock with every worker blocked on a full queue.
+type workerPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*Action
+	head   int
+	closed bool
+}
+
+func newWorkerPool(re *realExec, workers int) *workerPool {
+	p := &workerPool{}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		go p.work(re)
+	}
+	return p
+}
+
+func (p *workerPool) submit(a *Action) {
+	p.mu.Lock()
+	p.q = append(p.q, a)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *workerPool) work(re *realExec) {
+	for {
+		p.mu.Lock()
+		for p.head == len(p.q) && !p.closed {
+			p.cond.Wait()
+		}
+		if p.head == len(p.q) {
+			p.mu.Unlock()
+			return
+		}
+		a := p.q[p.head]
+		p.q[p.head] = nil
+		p.head++
+		if p.head == len(p.q) {
+			p.q = p.q[:0]
+			p.head = 0
+		}
+		p.mu.Unlock()
+		re.run(a)
+	}
+}
+
+// close releases the workers once the queue drains. Fini synchronizes
+// all work first, so nothing new arrives.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// execScratch is the recycled per-compute state.
+type execScratch struct {
+	ops     [][]byte
+	targs   []int64
+	coiBufs []*coi.Buffer
+	ctx     KernelCtx
+}
+
+func (re *realExec) launch(a *Action) { re.pools[a.stream.domain.index].submit(a) }
 
 func (re *realExec) run(a *Action) {
 	var err error
@@ -57,28 +151,43 @@ func (re *realExec) run(a *Action) {
 }
 
 // compute executes a kernel at the stream's sink: directly for
-// host-as-target streams, through the COI pipeline for cards.
+// host-as-target streams, through the COI pipeline for cards. Scratch
+// slices are recycled — safe because kernels must not retain their
+// KernelCtx, and coi.RunFunction serializes args and buffer ids
+// before returning.
 func (re *realExec) compute(a *Action) error {
 	s := a.stream
+	sc := re.scratch.Get().(*execScratch)
+	defer re.scratch.Put(sc)
 	if s.domain.IsHost() {
-		ops := make([][]byte, len(a.ops))
-		for i, o := range a.ops {
-			ops[i] = o.Buf.host[o.Off : o.Off+o.Len]
+		ops := sc.ops[:0]
+		for _, o := range a.ops {
+			ops = append(ops, o.Buf.host[o.Off:o.Off+o.Len])
 		}
-		return safeCall(a.kernelFn, &KernelCtx{Args: a.args, Ops: ops, Threads: s.nCores})
+		sc.ctx = KernelCtx{Args: a.args, Ops: ops, Threads: s.nCores}
+		err := safeCall(a.kernelFn, &sc.ctx)
+		for i := range ops {
+			ops[i] = nil
+		}
+		sc.ops, sc.ctx = ops[:0], KernelCtx{}
+		return err
 	}
 	// Card domain: ship [kernelID, threads, nArgs, args…, nOps,
 	// (off,len)…] plus the operands' COI buffers to the sink.
-	targs := make([]int64, 0, 4+len(a.args)+2*len(a.ops))
+	targs := sc.targs[:0]
 	targs = append(targs, a.kernelID, int64(s.nCores), int64(len(a.args)))
 	targs = append(targs, a.args...)
 	targs = append(targs, int64(len(a.ops)))
-	coiBufs := make([]*coi.Buffer, len(a.ops))
-	for i, o := range a.ops {
+	coiBufs := sc.coiBufs[:0]
+	for _, o := range a.ops {
 		targs = append(targs, o.Off, o.Len)
-		coiBufs[i] = o.Buf.inst[s.domain.index]
+		coiBufs = append(coiBufs, o.Buf.inst[s.domain.index])
 	}
 	ev, err := s.pipeline.RunFunction(trampolineName, targs, coiBufs...)
+	for i := range coiBufs {
+		coiBufs[i] = nil
+	}
+	sc.targs, sc.coiBufs = targs[:0], coiBufs[:0]
 	if err != nil {
 		return err
 	}
@@ -126,11 +235,15 @@ func (re *realExec) transfer(a *Action) error {
 	return err
 }
 
-func (re *realExec) waitAction(a *Action) { <-a.done }
+func (re *realExec) waitAction(a *Action) { <-a.Done() }
 
 func (re *realExec) now() time.Duration { return time.Since(re.epoch) }
 
-func (re *realExec) fini() {}
+func (re *realExec) fini() {
+	for _, p := range re.pools {
+		p.close()
+	}
+}
 
 // trampoline is the sink-side entry point registered with every COI
 // process; it decodes the wire arguments built in compute.

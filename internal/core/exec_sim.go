@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"hstreams/internal/metrics"
@@ -16,8 +17,12 @@ import (
 // wall time. Sim mode assumes a single host goroutine (all the
 // harness drivers are sequential), which makes runs deterministic.
 type simExec struct {
-	rt       *Runtime
-	eng      *timesim.Engine
+	rt  *Runtime
+	eng *timesim.Engine
+	// mu guards hostTime, which is also read by the debug server's
+	// Status snapshot from arbitrary goroutines; the engine clock
+	// stays single-goroutine and unlocked.
+	mu       sync.Mutex
 	hostTime time.Duration
 	// links[i] holds the two DMA directions for domain i
 	// (0: source→sink, 1: sink→source); nil for the host.
@@ -91,34 +96,29 @@ const (
 
 // maybeDrain pumps the engine while stream s has a large incomplete
 // window. Safe because start times come from propagated ready times,
-// not the engine clock.
+// not the engine clock. The window size comes from the stream's
+// atomic depth counter — the seed took the runtime lock on every
+// pump iteration just to read len(inflight).
 func (se *simExec) maybeDrain(s *Stream) {
-	if se.inflight(s) < simInflightHigh {
+	if s.ndepth.Load() < simInflightHigh {
 		return
 	}
-	for se.inflight(s) > simInflightLow {
+	for s.ndepth.Load() > simInflightLow {
 		if !se.eng.Step() {
 			return
 		}
 	}
 }
 
-func (se *simExec) inflight(s *Stream) int {
-	se.rt.mu.Lock()
-	n := len(s.inflight)
-	se.rt.mu.Unlock()
-	return n
-}
-
 func (se *simExec) waitAction(a *Action) {
 	if se.eng.RunUntil(a.Completed) {
 		// The host blocked until the action completed; its thread
 		// resumes no earlier than that.
-		se.rt.mu.Lock()
+		se.mu.Lock()
 		if se.hostTime < a.end {
 			se.hostTime = a.end
 		}
-		se.rt.mu.Unlock()
+		se.mu.Unlock()
 		return
 	}
 	if !a.Completed() {

@@ -147,15 +147,17 @@ func (rt *Runtime) notifyFinish(a *Action) {
 }
 
 // observeFinish records a completed action's aggregates. Called
-// without rt.mu held; every touched metric is atomic.
-func (rt *Runtime) observeFinish(a *Action, err error, depth int) {
+// without any lock held; every touched metric is atomic. The depth
+// gauge is maintained by Add(±1) at enqueue/finish — the seed's
+// Set(len(inflight)) after lock release let concurrent completions
+// publish stale, regressing depths.
+func (rt *Runtime) observeFinish(a *Action, err error) {
 	sm := a.stream.met
 	k := metricKind(a.kind)
 	sm.done[k].Inc()
 	sm.dur[k].Observe(a.end - a.start)
 	sm.stall[k].Observe(a.tReady - a.tEnqueue)
 	sm.sched[k].Observe(a.start - a.tReady)
-	sm.depth.Set(int64(depth))
 	if err != nil {
 		rt.mets.errors.Inc()
 	}

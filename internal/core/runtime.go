@@ -131,17 +131,24 @@ type Runtime struct {
 	mets    *coreMetrics
 	obs     atomic.Pointer[[]metrics.Observer]
 
-	mu          sync.Mutex
-	nextID      uint64
-	nextProxy   uint64
-	streams     []*Stream
-	bufs        []*Buf
-	outstanding int
-	kernels     map[string]Kernel
-	kernelIDs   map[string]int64
-	kernelList  []Kernel
-	firstErr    error
-	finalized   bool
+	// mu is the small registry lock: stream/buffer enumeration, proxy
+	// allocation, kernel registration, and first-error state. The
+	// per-action hot path never takes it — scheduling state lives
+	// behind per-stream locks (Stream.mu) and the atomics below.
+	mu        sync.Mutex
+	nextProxy uint64
+	streams   []*Stream
+	bufs      []*Buf
+	firstErr  error
+
+	nextID      atomic.Uint64
+	outstanding atomic.Int64
+	finalized   atomic.Bool
+
+	// ktab is the copy-on-write kernel table: registration (rare)
+	// clones under mu, lookup (every Real-mode compute enqueue) is a
+	// lock-free load.
+	ktab atomic.Pointer[kernelTable]
 
 	exec executor
 
@@ -174,14 +181,13 @@ func Init(cfg Config) (*Runtime, error) {
 		reg = metrics.Default()
 	}
 	rt := &Runtime{
-		cfg:       cfg,
-		machine:   cfg.Machine,
-		rec:       trace.New(),
-		runID:     nextRunID.Add(1),
-		reg:       reg,
-		kernels:   make(map[string]Kernel),
-		kernelIDs: make(map[string]int64),
+		cfg:     cfg,
+		machine: cfg.Machine,
+		rec:     trace.New(),
+		runID:   nextRunID.Add(1),
+		reg:     reg,
 	}
+	rt.ktab.Store(&kernelTable{ids: make(map[string]int64)})
 	if !cfg.DisableCausalTrace {
 		rt.flight = cfg.Flight
 		if rt.flight == nil {
@@ -236,12 +242,10 @@ func (rt *Runtime) initPlumbing() error {
 // Fini synchronizes all outstanding work and shuts the library down.
 func (rt *Runtime) Fini() {
 	rt.ThreadSynchronize()
-	rt.mu.Lock()
-	if rt.finalized {
-		rt.mu.Unlock()
+	if rt.finalized.Swap(true) {
 		return
 	}
-	rt.finalized = true
+	rt.mu.Lock()
 	procs := rt.procs
 	rt.mu.Unlock()
 	unregisterLive(rt)
@@ -329,38 +333,51 @@ func (rt *Runtime) NumCards() int { return len(rt.domains) - 1 }
 // Card returns the i-th card domain (0-based).
 func (rt *Runtime) Card(i int) *Domain { return rt.domains[i+1] }
 
+// kernelTable is the immutable kernel registry snapshot; lookups load
+// it atomically, registration replaces it wholesale.
+type kernelTable struct {
+	ids  map[string]int64
+	list []Kernel
+}
+
 // RegisterKernel makes fn invocable by name from compute actions in
 // any domain (the name plays the role of the sink-side symbol that
 // hStreams looks up). Registering an existing name replaces it.
 func (rt *Runtime) RegisterKernel(name string, fn Kernel) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if id, ok := rt.kernelIDs[name]; ok {
-		rt.kernelList[id] = fn
-	} else {
-		rt.kernelIDs[name] = int64(len(rt.kernelList))
-		rt.kernelList = append(rt.kernelList, fn)
+	old := rt.ktab.Load()
+	next := &kernelTable{
+		ids:  make(map[string]int64, len(old.ids)+1),
+		list: append([]Kernel(nil), old.list...),
 	}
-	rt.kernels[name] = fn
+	for k, v := range old.ids {
+		next.ids[k] = v
+	}
+	if id, ok := next.ids[name]; ok {
+		next.list[id] = fn
+	} else {
+		next.ids[name] = int64(len(next.list))
+		next.list = append(next.list, fn)
+	}
+	rt.ktab.Store(next)
 }
 
 func (rt *Runtime) kernelByName(name string) (Kernel, int64, bool) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	id, ok := rt.kernelIDs[name]
+	t := rt.ktab.Load()
+	id, ok := t.ids[name]
 	if !ok {
 		return nil, 0, false
 	}
-	return rt.kernelList[id], id, true
+	return t.list[id], id, true
 }
 
 func (rt *Runtime) kernelByID(id int64) Kernel {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if id < 0 || id >= int64(len(rt.kernelList)) {
+	t := rt.ktab.Load()
+	if id < 0 || id >= int64(len(t.list)) {
 		return nil
 	}
-	return rt.kernelList[id]
+	return t.list[id]
 }
 
 // ThreadSynchronize blocks the host until every enqueued action in
@@ -368,14 +385,19 @@ func (rt *Runtime) kernelByID(id int64) Kernel {
 func (rt *Runtime) ThreadSynchronize() {
 	for {
 		rt.mu.Lock()
+		streams := rt.streams
+		rt.mu.Unlock()
 		var pending *Action
-		for _, s := range rt.streams {
+		for _, s := range streams {
+			s.mu.Lock()
 			if len(s.inflight) > 0 {
 				pending = s.inflight[0]
+			}
+			s.mu.Unlock()
+			if pending != nil {
 				break
 			}
 		}
-		rt.mu.Unlock()
 		if pending == nil {
 			return
 		}
@@ -417,13 +439,13 @@ func (rt *Runtime) EventWait(evs []*Action, all bool) {
 	any := make(chan struct{})
 	var once sync.Once
 	for _, ev := range evs {
-		go func(ev *Action) {
+		go func(ch <-chan struct{}) {
 			select {
-			case <-ev.done:
+			case <-ch:
 				once.Do(func() { close(any) })
 			case <-done:
 			}
-		}(ev)
+		}(ev.Done())
 	}
 	<-any
 }
@@ -437,9 +459,10 @@ func (rt *Runtime) ChargeSource(d time.Duration) {
 	if rt.cfg.Mode != ModeSim || d <= 0 {
 		return
 	}
-	rt.mu.Lock()
-	rt.exec.(*simExec).hostTime += d
-	rt.mu.Unlock()
+	se := rt.exec.(*simExec)
+	se.mu.Lock()
+	se.hostTime += d
+	se.mu.Unlock()
 }
 
 // setErr records the first action error, which Err reports. Later

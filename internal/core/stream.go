@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hstreams/internal/coi"
 	"hstreams/internal/platform"
@@ -22,11 +23,29 @@ type Stream struct {
 	firstCore int
 	nCores    int
 
-	// inflight holds enqueued-but-incomplete actions in program
-	// order; guarded by rt.mu.
+	// mu is the stream's scheduling lock — the sharded replacement
+	// for the seed's global runtime lock. It guards inflight (and the
+	// slot field of its members), destroyed, the operand-interval
+	// index, and the succs/lastSucc lists of this stream's actions.
+	// The scheduler never holds two stream locks at once.
+	mu sync.Mutex
+	// inflight holds enqueued-but-incomplete actions; order is
+	// arbitrary (finish retires by swapping the last entry into the
+	// retiree's slot), membership is what matters.
 	inflight []*Action
-	// destroyed rejects further enqueues; guarded by rt.mu.
+	// destroyed rejects further enqueues.
 	destroyed bool
+	// index is the per-buffer operand-interval dependence index; see
+	// depindex.go. epoch numbers the current sync generation — a
+	// mismatch marks an interval set as dominated by barrier and
+	// resettable. barrier is the latest incomplete sync action.
+	index   map[*Buf]*bufIvals
+	epoch   uint64
+	barrier *Action
+
+	// ndepth mirrors len(inflight) as an atomic so the Sim drain loop
+	// and the depth-peak gauge read it without taking mu.
+	ndepth atomic.Int64
 
 	// met caches this stream's resolved metric series.
 	met *streamMetrics
@@ -68,7 +87,7 @@ func (rt *Runtime) StreamCreateOn(d *Domain, firstCore, nCores int, share *Strea
 			ErrBadStream, firstCore, firstCore+nCores, d.spec.Name, d.spec.Cores())
 	}
 	rt.mu.Lock()
-	if rt.finalized {
+	if rt.finalized.Load() {
 		rt.mu.Unlock()
 		return nil, ErrFinalized
 	}
@@ -78,6 +97,7 @@ func (rt *Runtime) StreamCreateOn(d *Domain, firstCore, nCores int, share *Strea
 		domain:    d,
 		firstCore: firstCore,
 		nCores:    nCores,
+		index:     make(map[*Buf]*bufIvals),
 	}
 	s.name = fmt.Sprintf("%s.s%d", d.spec.Name, s.id)
 	rt.streams = append(rt.streams, s)
@@ -221,22 +241,24 @@ func (s *Stream) EnqueueEventWait(evs ...*Action) (*Action, error) {
 // events remain valid; only new work is refused. Destroy is
 // idempotent.
 func (s *Stream) Destroy() error {
-	s.rt.mu.Lock()
+	s.mu.Lock()
 	s.destroyed = true
-	s.rt.mu.Unlock()
+	s.mu.Unlock()
 	return s.Synchronize()
 }
 
 // Synchronize blocks the host until every action previously enqueued
-// in this stream has completed (hStreams_StreamSynchronize).
+// in this stream has completed (hStreams_StreamSynchronize). inflight
+// is unordered, so it waits on whatever member it sees and re-checks
+// until the window is empty.
 func (s *Stream) Synchronize() error {
 	for {
-		s.rt.mu.Lock()
+		s.mu.Lock()
 		var pending *Action
 		if len(s.inflight) > 0 {
-			pending = s.inflight[len(s.inflight)-1]
+			pending = s.inflight[0]
 		}
-		s.rt.mu.Unlock()
+		s.mu.Unlock()
 		if pending == nil {
 			return s.rt.Err()
 		}

