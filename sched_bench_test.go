@@ -242,6 +242,12 @@ func TestSchedThroughputArtifact(t *testing.T) {
 	if res.RealBaseline > 0 {
 		res.RealSpeedup = real / res.RealBaseline
 	}
+	// Under the race detector the workload above still ran (useful
+	// coverage), but the timings are meaningless — skip before
+	// clobbering the committed artifact with race-tainted numbers.
+	if raceEnabled {
+		t.Skip("race detector on; wall-clock throughput not meaningful")
+	}
 	out := os.Getenv("SCHED_BENCH_OUT")
 	if out == "" {
 		out = "BENCH_sched_throughput.json"
@@ -255,7 +261,4 @@ func TestSchedThroughputArtifact(t *testing.T) {
 	}
 	t.Logf("sim %.0f actions/s (%.2fx baseline), real %.0f actions/s (%.2fx baseline)",
 		sim, res.SimSpeedup, real, res.RealSpeedup)
-	if raceEnabled {
-		t.Skip("race detector on; wall-clock throughput not meaningful")
-	}
 }
