@@ -1,7 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt golden debug-smoke check bench clean \
-	bench-sched bench-sched-guard bench-sched-smoke
+.PHONY: all build test race vet fmt golden doclint debug-smoke chaos-smoke \
+	check bench clean bench-sched bench-sched-guard bench-sched-smoke
+
+# DOC_PKGS are the packages held to the godoc floor by doclint: the
+# paper-critical stack plus the facade.
+DOC_PKGS = internal/fault internal/fabric internal/coi internal/core \
+	internal/trace internal/metrics .
 
 all: build
 
@@ -31,16 +36,28 @@ fmt:
 golden:
 	$(GO) test ./cmd/hsbench -run TestExpositionGolden
 
+# doclint fails on any undocumented exported declaration (or missing
+# package comment) in the paper-critical packages.
+doclint:
+	$(GO) run ./scripts/doclint $(DOC_PKGS)
+
 # debug-smoke boots hsbench with the live debug server and asserts
 # every endpoint answers 200 with plausible content.
 debug-smoke:
 	./scripts/debug_smoke.sh
 
-# check is the pre-commit gate: build, vet, formatting, the exposition
-# golden, tests under the race detector, then a single-shot scheduler
-# throughput smoke (function, not timing — the timing gate is
-# bench-sched-guard).
-check: build vet fmt golden race bench-sched-smoke
+# chaos-smoke runs the Real-mode hetero matmul under the seeded fault
+# injector (retry and breaker profiles) and asserts the result still
+# verifies with a nonzero number of injected faults — the resilience
+# layer's CI gate (OPERATIONS.md).
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
+# check is the pre-commit gate: build, vet, formatting, the doc lint,
+# the exposition golden, tests under the race detector, a single-shot
+# scheduler throughput smoke (function, not timing — the timing gate
+# is bench-sched-guard), and the chaos smoke.
+check: build vet fmt doclint golden race bench-sched-smoke chaos-smoke
 
 bench:
 	$(GO) run ./cmd/hsbench -fig all

@@ -13,6 +13,13 @@
 //	hsbench -fig tuning    §VI tiling/stream sweeps + design ablations
 //	hsbench -fig lu        §VI LU (DGETRF) claims + Simulia streaming comparison
 //	hsbench -fig all       everything
+//
+// The extra "chaos" figure (not part of -fig all) runs the Real-mode
+// hetero matmul under the deterministic fault injector and verifies
+// the result bit-for-bit against the reference product — the
+// resilience layer's end-to-end gate (see OPERATIONS.md and `make
+// chaos-smoke`). Tune it with -faults, -fault-seed, -retry,
+// -retry-backoff, -deadline and -breaker.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"hstreams/internal/chol"
 	"hstreams/internal/core"
 	"hstreams/internal/debugserver"
+	"hstreams/internal/fault"
 	"hstreams/internal/lu"
 	"hstreams/internal/magma"
 	"hstreams/internal/matmul"
@@ -39,12 +47,18 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8, 9, overhead, ompss, rtm, tuning, lu, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8, 9, overhead, ompss, rtm, tuning, lu, all, chaos")
 	metricsFile := flag.String("metrics", "", "write accumulated runtime telemetry to this file in Prometheus text format ('-' for stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve live debug endpoints (/metrics, /debug/pprof, /debug/trace, /debug/streams, /debug/critpath) on this address, e.g. 127.0.0.1:6060 (port 0 picks a free port)")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the figures finish (requires -debug-addr)")
 	critpath := flag.Bool("critpath", false, "print the critical-path report of the last schedule after the figures finish")
 	traceFile := flag.String("trace", "", "write the flight recorder's retained spans as Chrome trace JSON to this file (load in Perfetto for dependency arrows)")
+	flag.Float64Var(&chaosOpts.prob, "faults", 0, "fault-injection probability for transfer and kernel faults in the chaos figure (0 uses its default)")
+	flag.Uint64Var(&chaosOpts.seed, "fault-seed", 1, "seed for the deterministic fault injector (chaos figure)")
+	flag.IntVar(&chaosOpts.retry, "retry", 0, "max re-attempts per transiently failing action in the chaos figure (0 uses its default)")
+	flag.DurationVar(&chaosOpts.backoff, "retry-backoff", 100*time.Microsecond, "base exponential backoff between re-attempts (chaos figure)")
+	flag.DurationVar(&chaosOpts.deadline, "deadline", 0, "per-action deadline across attempts in the chaos figure (0 disables)")
+	flag.IntVar(&chaosOpts.breaker, "breaker", 0, "consecutive transient failures that quarantine a domain in the chaos figure (0 disables the breaker)")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -65,6 +79,7 @@ func main() {
 		"rtm":      rtm,
 		"tuning":   tuning,
 		"lu":       luClaims,
+		"chaos":    chaos,
 	}
 	if *fig == "all" {
 		for _, k := range []string{"3", "6", "7", "8", "9", "overhead", "ompss", "rtm", "tuning", "lu"} {
@@ -463,6 +478,77 @@ func tuning() {
 		}
 		fmt.Printf("  %-28s makespan %v\n", label, rt.Trace().Makespan())
 		rt.Fini()
+	}
+}
+
+// chaosOpts carries the chaos figure's flag values.
+var chaosOpts struct {
+	prob     float64
+	seed     uint64
+	retry    int
+	backoff  time.Duration
+	deadline time.Duration
+	breaker  int
+}
+
+// chaos runs the Real-mode hetero matmul with the deterministic fault
+// injector installed and verifies the result against the reference
+// product — proving the resilience layer delivers correct answers
+// under transfer/kernel faults, not just that it retries. A private
+// metrics registry isolates this run's counters so the printed line is
+// exactly the chaos run's accounting. Exits nonzero on any failure.
+func chaos() {
+	prob := chaosOpts.prob
+	if prob <= 0 {
+		prob = 0.05
+	}
+	retry := chaosOpts.retry
+	if retry <= 0 {
+		retry = 8
+	}
+	plan := fault.Plan{
+		Seed:          chaosOpts.seed,
+		TransferError: prob,
+		KernelError:   prob,
+		SlowLink:      prob,
+		SlowLatency:   50 * time.Microsecond,
+	}
+	fmt.Printf("== chaos: Real-mode hetero matmul under faults (p=%.3f seed=%d retry=%d deadline=%v breaker=%d) ==\n",
+		prob, plan.Seed, retry, chaosOpts.deadline, chaosOpts.breaker)
+	reg := metrics.New()
+	inj := fault.NewInjector(plan, reg)
+	a, err := app.Init(app.Options{
+		Machine:        platform.HSWPlusKNC(1),
+		Mode:           core.ModeReal,
+		StreamsPerCard: 2,
+		HostStreams:    2,
+		Metrics:        reg,
+		Faults:         inj,
+		Retry: core.RetryPolicy{
+			Max: retry, Backoff: chaosOpts.backoff, BackoffMax: 50 * chaosOpts.backoff,
+			Jitter: 0.5, Seed: plan.Seed,
+		},
+		Deadline: chaosOpts.deadline,
+		Breaker:  core.BreakerPolicy{Threshold: chaosOpts.breaker},
+	})
+	check(err)
+	matmul.RegisterExtra(a.RT)
+	res, err := matmul.Run(a, matmul.Config{N: 96, Tile: 12, UseHost: true, LoadBalance: true, Verify: true})
+	a.Fini()
+	verify := "ok"
+	if err != nil {
+		verify = fmt.Sprintf("FAILED (%v)", err)
+	}
+	fmt.Printf("chaos: verify=%s retries=%.0f deadline-exceeded=%.0f faults-injected=%.0f reroutes=%.0f quarantines=%.0f gflops=%.1f\n",
+		verify,
+		reg.Total("hstreams_retries_total"),
+		reg.Total("hstreams_deadline_exceeded_total"),
+		reg.Total("hstreams_faults_injected_total"),
+		reg.Total("hstreams_rerouted_total"),
+		reg.Total("hstreams_breaker_trips_total"),
+		res.GFlops)
+	if err != nil {
+		os.Exit(1)
 	}
 }
 

@@ -28,6 +28,7 @@ package hstreams
 import (
 	"hstreams/internal/app"
 	"hstreams/internal/core"
+	"hstreams/internal/fault"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 	"hstreams/internal/trace"
@@ -86,6 +87,39 @@ type (
 	// XferDir selects a transfer direction.
 	XferDir = core.XferDir
 )
+
+// Resilience types (internal/fault + internal/core). A FaultPlan
+// drives a deterministic, seedable Injector installed via
+// Config.Faults; RetryPolicy / Config.Deadline / BreakerPolicy
+// configure how the scheduler survives the injected (or real)
+// failures. See OPERATIONS.md for the operator runbook.
+type (
+	// FaultPlan describes what a fault injector injects and how often.
+	FaultPlan = fault.Plan
+	// Injector is the fault-injection hook consulted by the plumbing
+	// layers; nil disables injection at zero cost.
+	Injector = fault.Injector
+	// RetryPolicy bounds re-attempts of transiently failing card
+	// actions (exponential backoff + deterministic jitter).
+	RetryPolicy = core.RetryPolicy
+	// BreakerPolicy configures per-domain quarantine and re-route.
+	BreakerPolicy = core.BreakerPolicy
+)
+
+// ErrDeadlineExceeded is reported by actions whose attempts did not
+// succeed within Config.Deadline.
+var ErrDeadlineExceeded = core.ErrDeadlineExceeded
+
+// NewFaultInjector builds the deterministic seeded injector for a
+// plan, reporting injection telemetry into reg (nil: detached
+// counting) — pass it via Config.Faults / AppOptions.Faults.
+func NewFaultInjector(plan FaultPlan, reg *MetricsRegistry) Injector {
+	return fault.NewInjector(plan, reg)
+}
+
+// IsTransientError reports whether err is retryable under the error
+// taxonomy (an injected transient fault anywhere in its chain).
+func IsTransientError(err error) bool { return fault.IsTransient(err) }
 
 // Telemetry types (internal/metrics). Every Runtime reports live
 // counters, gauges and latency histograms into a MetricsRegistry

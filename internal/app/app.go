@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hstreams/internal/core"
+	"hstreams/internal/fault"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 	"hstreams/internal/trace"
@@ -51,6 +52,18 @@ type Options struct {
 	// DisableCausalTrace turns span capture off entirely (see
 	// core.Config.DisableCausalTrace).
 	DisableCausalTrace bool
+	// Faults installs a fault injector into the plumbing layers (see
+	// core.Config.Faults). Real mode only; nil disables injection.
+	Faults fault.Injector
+	// Retry bounds re-attempts of transiently failing card actions
+	// (see core.Config.Retry).
+	Retry core.RetryPolicy
+	// Deadline bounds one action's total time across attempts (see
+	// core.Config.Deadline).
+	Deadline time.Duration
+	// Breaker configures per-domain quarantine (see
+	// core.Config.Breaker).
+	Breaker core.BreakerPolicy
 }
 
 // App wraps a runtime with per-domain stream sets.
@@ -75,6 +88,10 @@ func Init(opt Options) (*App, error) {
 		Metrics:            opt.Metrics,
 		Flight:             opt.Flight,
 		DisableCausalTrace: opt.DisableCausalTrace,
+		Faults:             opt.Faults,
+		Retry:              opt.Retry,
+		Deadline:           opt.Deadline,
+		Breaker:            opt.Breaker,
 	})
 	if err != nil {
 		return nil, err

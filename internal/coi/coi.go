@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hstreams/internal/fabric"
+	"hstreams/internal/fault"
 	"hstreams/internal/metrics"
 )
 
@@ -92,6 +93,7 @@ type Process struct {
 	srcEP  *fabric.Endpoint
 	sinkEP *fabric.Endpoint
 	pool   *BufferPool
+	inj    fault.Injector // nil unless Options.Injector was set
 
 	// Telemetry, labeled by sink node (see Options.Metrics).
 	poolHits   *metrics.Counter
@@ -119,6 +121,11 @@ type Options struct {
 	// run-function and pipeline counts), labeled by sink node. Nil
 	// keeps counting into detached series that are never exported.
 	Metrics *metrics.Registry
+	// Injector, when non-nil, is consulted before every run-function
+	// launch (keyed by sink domain) and may fail the launch before the
+	// descriptor is sent — so a failed launch has no sink-side effects
+	// and is safe to retry. Nil disables injection at zero cost.
+	Injector fault.Injector
 }
 
 // CreateProcess starts a sink engine on the sink node and returns the
@@ -138,6 +145,7 @@ func CreateProcess(f *fabric.Fabric, source, sink *fabric.Node, opt Options) (*P
 		buffers:   make(map[uint64]*Buffer),
 		pipelines: make(map[uint64]*Pipeline),
 		events:    make(map[uint64]*Event),
+		inj:       opt.Injector,
 	}
 	if opt.PoolBuffers {
 		p.pool = NewBufferPool(DefaultPoolChunk)
@@ -313,6 +321,11 @@ func (pl *Pipeline) run() {
 // the given scalar args and buffer operands, returning immediately
 // with a completion event.
 func (pl *Pipeline) RunFunction(name string, args []int64, bufs ...*Buffer) (*Event, error) {
+	if pl.p.inj != nil {
+		if err := pl.p.inj.Kernel(pl.p.sink.Name()); err != nil {
+			return nil, err
+		}
+	}
 	ev := newEvent()
 	m := msg{Op: 'r', Fn: name, Args: args, Pipeline: pl.id}
 	for _, b := range bufs {

@@ -27,6 +27,7 @@ const (
 	ActSync
 )
 
+// String labels the action kind for traces and error text.
 func (k ActKind) String() string {
 	switch k {
 	case ActCompute:
@@ -107,6 +108,16 @@ type Action struct {
 	err      error
 	start    time.Duration
 	end      time.Duration
+
+	// Resilience bookkeeping (exec_real.go / resilience.go), written
+	// only by the executor goroutine running the action and read at
+	// finish on that same goroutine — no atomics needed. started
+	// guards a.start so retries and re-routes never restamp it.
+	started     bool
+	retries     int
+	retryWait   time.Duration
+	deadlineHit bool
+	rerouted    bool
 }
 
 type actState = int32
@@ -412,6 +423,10 @@ func (rt *Runtime) finish(a *Action, err error) {
 		sp.Launch = a.start
 		sp.Finish = a.end
 		sp.Deps = a.deps
+		sp.Retries = a.retries
+		sp.RetryWait = a.retryWait
+		sp.DeadlineHit = a.deadlineHit
+		sp.Rerouted = a.rerouted
 		// Host-as-target transfers alias instances and move nothing,
 		// so only card-domain transfers name a link direction.
 		if !s.domain.IsHost() {

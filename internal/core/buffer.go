@@ -138,6 +138,7 @@ const (
 	InOut
 )
 
+// String labels the access mode for diagnostics.
 func (a Access) String() string {
 	switch a {
 	case In:

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hstreams/internal/coi"
+	"hstreams/internal/fault"
 )
 
 // trampolineName is the sink-side symbol all compute actions dispatch
@@ -34,12 +35,16 @@ type realExec struct {
 	// card wire args and COI buffer lists) that the seed allocated on
 	// every action.
 	scratch sync.Pool
+	// res is the resilience state: retry/deadline policies and the
+	// per-domain breakers (resilience.go).
+	res *resState
 }
 
 func newRealExec(rt *Runtime) *realExec {
 	re := &realExec{rt: rt, epoch: time.Now()}
 	re.dma = make([]*[2]sync.Mutex, len(rt.domains))
 	re.pools = make([]*workerPool, len(rt.domains))
+	re.res = newResState(rt)
 	for i, d := range rt.domains {
 		re.dma[i] = &[2]sync.Mutex{}
 		re.pools[i] = newWorkerPool(re, poolWorkers(d.spec.Cores()))
@@ -132,48 +137,208 @@ type execScratch struct {
 func (re *realExec) launch(a *Action) { re.pools[a.stream.domain.index].submit(a) }
 
 func (re *realExec) run(a *Action) {
-	var err error
 	s := a.stream
-	switch a.kind {
-	case ActCompute:
-		s.computeMu.Lock()
-		a.start = re.now()
-		err = re.compute(a)
-		a.end = re.now()
-		s.computeMu.Unlock()
-	case ActXferToSink, ActXferToSrc:
-		err = re.transfer(a)
-	case ActSync:
+	if a.kind == ActSync {
 		a.start = re.now()
 		a.end = a.start
+		re.rt.finish(a, nil)
+		return
 	}
-	re.rt.finish(a, err)
+	if s.domain.IsHost() {
+		// Host actions have no fabric or sink process to fail; they
+		// bypass the resilience path entirely.
+		var err error
+		if a.kind == ActCompute {
+			s.computeMu.Lock()
+			a.start = re.now()
+			err = re.computeHost(a)
+			a.end = re.now()
+			s.computeMu.Unlock()
+		} else {
+			// Host-as-target streams alias instances; optimized away.
+			a.start = re.now()
+			a.end = a.start
+		}
+		re.rt.finish(a, err)
+		return
+	}
+	re.rt.finish(a, re.runCardAction(a))
 }
 
-// compute executes a kernel at the stream's sink: directly for
-// host-as-target streams, through the COI pipeline for cards. Scratch
+// runCardAction executes one card-domain action under the resilience
+// machinery: quarantined domains re-route to the host, everything
+// else goes through the retry/deadline loop. The inflight counter
+// brackets the card-side attempt window for the breaker's drain
+// handshake (see resilience.go); a re-routing action must leave the
+// window first or the drain would wait on it forever.
+func (re *realExec) runCardAction(a *Action) error {
+	dr := re.res.dom[a.stream.domain.index]
+	if dr.isQuarantined() {
+		return re.runRerouted(a, dr)
+	}
+	dr.inflight.Add(1)
+	if dr.isQuarantined() {
+		// Raced with the breaker trip: step back out and re-route.
+		dr.inflight.Add(-1)
+		return re.runRerouted(a, dr)
+	}
+	err := re.runCard(a, dr)
+	dr.inflight.Add(-1)
+	if _, ok := err.(*needReroute); ok {
+		return re.runRerouted(a, dr)
+	}
+	return err
+}
+
+// runCard is the retry/deadline loop around one card action's
+// attempts. The order of checks after a failed attempt matters:
+// fatal errors are final, then the deadline (so a doomed action stops
+// burning the link), then quarantine (the breaker may have tripped —
+// possibly by our own failure — and re-routing beats retrying into a
+// dead domain), then the retry budget.
+func (re *realExec) runCard(a *Action, dr *domainRes) error {
+	rp := re.res.retry
+	dl := re.res.deadline
+	var t0 time.Duration
+	if dl > 0 {
+		t0 = re.now()
+	}
+	for attempt := 0; ; attempt++ {
+		err := re.attemptCard(a)
+		if err == nil {
+			dr.succeed(a)
+			return nil
+		}
+		if !fault.IsTransient(err) {
+			return err
+		}
+		dr.fail()
+		if dl > 0 && re.now()-t0 >= dl {
+			a.deadlineHit = true
+			dr.deadlines.Inc()
+			return fmt.Errorf("%w: %s after %d attempt(s), last error: %v",
+				ErrDeadlineExceeded, a.kind, attempt+1, err)
+		}
+		if dr.isQuarantined() {
+			return &needReroute{cause: err}
+		}
+		if attempt >= rp.Max {
+			return err
+		}
+		wait := rp.wait(a.id, attempt)
+		a.retries++
+		a.retryWait += wait
+		dr.retries.Inc()
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+}
+
+// attemptCard makes one attempt at a card action. Failed attempts
+// have no side effects — injection fires before any bytes move or any
+// descriptor is sent — so attempts may repeat freely. a.start is
+// stamped once (first attempt) and a.end after every attempt, so the
+// recorded duration spans retries and backoff.
+func (re *realExec) attemptCard(a *Action) error {
+	s := a.stream
+	if a.kind == ActCompute {
+		s.computeMu.Lock()
+		if !a.started {
+			a.start = re.now()
+			a.started = true
+		}
+		err := re.computeCard(a)
+		a.end = re.now()
+		s.computeMu.Unlock()
+		return err
+	}
+	o := a.ops[0]
+	cb := o.Buf.inst[s.domain.index]
+	dir := 0
+	if a.kind == ActXferToSrc {
+		dir = 1
+	}
+	mu := &re.dma[s.domain.index][dir]
+	mu.Lock()
+	defer mu.Unlock()
+	if !a.started {
+		a.start = re.now()
+		a.started = true
+	}
+	var err error
+	if a.kind == ActXferToSink {
+		_, err = cb.Write(int(o.Off), o.Buf.host[o.Off:o.Off+o.Len])
+	} else {
+		_, err = cb.Read(int(o.Off), o.Buf.host[o.Off:o.Off+o.Len])
+	}
+	a.end = re.now()
+	return err
+}
+
+// runRerouted executes a card-bound action on the host domain after
+// its domain quarantined: computes run against the host instances,
+// transfers become no-ops (host-as-target aliasing). Dependence
+// analysis already ran against the original domain and is NOT redone —
+// the partial order is a property of the program, not of where
+// actions execute — so the FIFO-with-overlap semantic is preserved
+// (DESIGN.md §6). The first re-routed action performs the quarantine
+// drain + dirty-range flush inside awaitFlush.
+func (re *realExec) runRerouted(a *Action, dr *domainRes) error {
+	if err := dr.awaitFlush(re); err != nil {
+		return err
+	}
+	a.rerouted = true
+	dr.rerouted.Inc()
+	s := a.stream
+	if a.kind == ActCompute {
+		s.computeMu.Lock()
+		if !a.started {
+			a.start = re.now()
+			a.started = true
+		}
+		err := re.computeHost(a)
+		a.end = re.now()
+		s.computeMu.Unlock()
+		return err
+	}
+	// The host instance is now the action's source AND sink.
+	if !a.started {
+		a.start = re.now()
+		a.started = true
+	}
+	a.end = re.now()
+	return nil
+}
+
+// computeHost executes a kernel against the host instances — the
+// host-as-target path, also used for re-routed card computes. Scratch
 // slices are recycled — safe because kernels must not retain their
-// KernelCtx, and coi.RunFunction serializes args and buffer ids
-// before returning.
-func (re *realExec) compute(a *Action) error {
+// KernelCtx.
+func (re *realExec) computeHost(a *Action) error {
+	sc := re.scratch.Get().(*execScratch)
+	defer re.scratch.Put(sc)
+	ops := sc.ops[:0]
+	for _, o := range a.ops {
+		ops = append(ops, o.Buf.host[o.Off:o.Off+o.Len])
+	}
+	sc.ctx = KernelCtx{Args: a.args, Ops: ops, Threads: a.stream.nCores}
+	err := safeCall(a.kernelFn, &sc.ctx)
+	for i := range ops {
+		ops[i] = nil
+	}
+	sc.ops, sc.ctx = ops[:0], KernelCtx{}
+	return err
+}
+
+// computeCard ships one kernel invocation through the stream's COI
+// pipeline: [kernelID, threads, nArgs, args…, nOps, (off,len)…] plus
+// the operands' COI buffers. Scratch recycling is safe because
+// coi.RunFunction serializes args and buffer ids before returning.
+func (re *realExec) computeCard(a *Action) error {
 	s := a.stream
 	sc := re.scratch.Get().(*execScratch)
 	defer re.scratch.Put(sc)
-	if s.domain.IsHost() {
-		ops := sc.ops[:0]
-		for _, o := range a.ops {
-			ops = append(ops, o.Buf.host[o.Off:o.Off+o.Len])
-		}
-		sc.ctx = KernelCtx{Args: a.args, Ops: ops, Threads: s.nCores}
-		err := safeCall(a.kernelFn, &sc.ctx)
-		for i := range ops {
-			ops[i] = nil
-		}
-		sc.ops, sc.ctx = ops[:0], KernelCtx{}
-		return err
-	}
-	// Card domain: ship [kernelID, threads, nArgs, args…, nOps,
-	// (off,len)…] plus the operands' COI buffers to the sink.
 	targs := sc.targs[:0]
 	targs = append(targs, a.kernelID, int64(s.nCores), int64(len(a.args)))
 	targs = append(targs, a.args...)
@@ -204,35 +369,6 @@ func safeCall(fn Kernel, ctx *KernelCtx) (err error) {
 	}()
 	fn(ctx)
 	return nil
-}
-
-// transfer moves operand bytes between the source and sink instances.
-func (re *realExec) transfer(a *Action) error {
-	s := a.stream
-	if s.domain.IsHost() {
-		// Host-as-target streams alias instances; optimized away.
-		a.start = re.now()
-		a.end = a.start
-		return nil
-	}
-	o := a.ops[0]
-	cb := o.Buf.inst[s.domain.index]
-	dir := 0
-	if a.kind == ActXferToSrc {
-		dir = 1
-	}
-	mu := &re.dma[s.domain.index][dir]
-	mu.Lock()
-	defer mu.Unlock()
-	a.start = re.now()
-	var err error
-	if a.kind == ActXferToSink {
-		_, err = cb.Write(int(o.Off), o.Buf.host[o.Off:o.Off+o.Len])
-	} else {
-		_, err = cb.Read(int(o.Off), o.Buf.host[o.Off:o.Off+o.Len])
-	}
-	a.end = re.now()
-	return err
 }
 
 func (re *realExec) waitAction(a *Action) { <-a.Done() }

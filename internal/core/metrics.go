@@ -44,6 +44,11 @@ type coreMetrics struct {
 	depthPeak     *metrics.GaugeVec     // stream: high-water mark of the window
 	linkBytes     *metrics.CounterVec   // src, dst: payload bytes per link direction
 	linkXfers     *metrics.CounterVec   // src, dst: transfers per link direction
+	retries       *metrics.CounterVec   // domain: transient-failure re-attempts
+	deadline      *metrics.CounterVec   // domain: actions that exceeded Config.Deadline
+	rerouted      *metrics.CounterVec   // domain: actions re-routed to the host
+	breakerTrip   *metrics.CounterVec   // domain: breaker trips (0 or 1 per domain per run)
+	quarantined   *metrics.GaugeVec     // domain: 1 while quarantined
 }
 
 func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
@@ -59,6 +64,11 @@ func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
 		depthPeak:     reg.GaugeVec("hstreams_queue_depth_peak", "High-water mark of hstreams_queue_depth per stream.", "stream"),
 		linkBytes:     reg.CounterVec("hstreams_link_bytes_total", "Payload bytes moved per link direction.", "src", "dst"),
 		linkXfers:     reg.CounterVec("hstreams_link_transfers_total", "Transfers per link direction.", "src", "dst"),
+		retries:       reg.CounterVec("hstreams_retries_total", "Re-attempts of transiently failing card actions, by domain.", "domain"),
+		deadline:      reg.CounterVec("hstreams_deadline_exceeded_total", "Actions that exhausted their per-action deadline, by domain.", "domain"),
+		rerouted:      reg.CounterVec("hstreams_rerouted_total", "Actions re-routed from a quarantined domain to the host, by original domain.", "domain"),
+		breakerTrip:   reg.CounterVec("hstreams_breaker_trips_total", "Domain circuit-breaker trips.", "domain"),
+		quarantined:   reg.GaugeVec("hstreams_domain_quarantined", "1 while the domain is quarantined by its breaker, else 0.", "domain"),
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 
 	"hstreams/internal/coi"
 	"hstreams/internal/fabric"
+	"hstreams/internal/fault"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 	"hstreams/internal/trace"
@@ -100,6 +101,24 @@ type Config struct {
 	// trace-overhead benchmark guard measures; leave it off in
 	// production — the recorder is designed to stay on.
 	DisableCausalTrace bool
+	// Faults, when non-nil, is installed into the fabric and COI
+	// layers and consulted before every DMA and run-function launch
+	// (fault.NewInjector builds the deterministic, seedable one). Real
+	// mode only — Sim's virtual clock has no plumbing to fail. Nil
+	// (the default) disables injection at zero cost.
+	Faults fault.Injector
+	// Retry bounds re-attempts of transiently failing card actions
+	// (resilience.go). The zero value disables retries.
+	Retry RetryPolicy
+	// Deadline bounds one action's total time across attempts; checked
+	// at attempt boundaries (a DMA cannot be aborted midflight). Zero
+	// disables deadlines. Real mode only.
+	Deadline time.Duration
+	// Breaker configures per-domain quarantine: after
+	// Breaker.Threshold consecutive transient failures a domain is
+	// quarantined and its work re-routed to the host (resilience.go).
+	// The zero value disables the breaker.
+	Breaker BreakerPolicy
 }
 
 // Kernel is a sink-side compute entry point. Operand slices arrive in
@@ -217,6 +236,9 @@ func Init(cfg Config) (*Runtime, error) {
 func (rt *Runtime) initPlumbing() error {
 	rt.fab = fabric.New()
 	rt.fab.SetMetrics(rt.reg)
+	if rt.cfg.Faults != nil {
+		rt.fab.SetInjector(rt.cfg.Faults)
+	}
 	rt.nodes = make([]*fabric.Node, len(rt.domains))
 	rt.procs = make([]*coi.Process, len(rt.domains))
 	for i, d := range rt.domains {
@@ -229,6 +251,7 @@ func (rt *Runtime) initPlumbing() error {
 		p, err := coi.CreateProcess(rt.fab, rt.nodes[0], rt.nodes[i], coi.Options{
 			PoolBuffers: !rt.cfg.DisableBufferPool,
 			Metrics:     rt.reg,
+			Injector:    rt.cfg.Faults,
 		})
 		if err != nil {
 			return err
@@ -263,6 +286,7 @@ func (rt *Runtime) Machine() *platform.Machine { return rt.machine }
 // Mode returns the execution mode.
 func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
 
+// String labels the execution mode for logs and benchmarks.
 func (m Mode) String() string {
 	switch m {
 	case ModeReal:
@@ -319,6 +343,7 @@ func (d *Domain) Spec() *platform.DomainSpec { return d.spec }
 // IsHost reports whether this is the host domain.
 func (d *Domain) IsHost() bool { return d.index == 0 }
 
+// String renders the domain as "domain<index>(<name>)" for diagnostics.
 func (d *Domain) String() string { return fmt.Sprintf("domain%d(%s)", d.index, d.spec.Name) }
 
 // Domains enumerates all physical domains, host first.

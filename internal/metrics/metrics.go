@@ -40,6 +40,7 @@ const (
 	HistogramType
 )
 
+// String labels the metric type for the exposition format.
 func (t Type) String() string {
 	switch t {
 	case CounterType:

@@ -21,6 +21,7 @@ const (
 	DepEvent
 )
 
+// String labels the dependence kind for trace output.
 func (k DepKind) String() string {
 	switch k {
 	case DepFIFO:
@@ -69,6 +70,16 @@ type Span struct {
 	Ready   time.Duration `json:"ready"`
 	Launch  time.Duration `json:"launch"`
 	Finish  time.Duration `json:"finish"`
+
+	// Resilience phases (Real mode): how many times the scheduler
+	// re-attempted the action after transient failures, the total
+	// backoff it slept between attempts (contained in Launch→Finish),
+	// whether it exhausted its per-action deadline, and whether it was
+	// re-routed to the host by a quarantined domain's breaker.
+	Retries     int           `json:"retries,omitempty"`
+	RetryWait   time.Duration `json:"retry_wait,omitempty"`
+	DeadlineHit bool          `json:"deadline_hit,omitempty"`
+	Rerouted    bool          `json:"rerouted,omitempty"`
 
 	Deps []Dep `json:"deps,omitempty"`
 }

@@ -24,6 +24,7 @@ const (
 	Sync
 )
 
+// String labels the record kind for trace output.
 func (k Kind) String() string {
 	switch k {
 	case Compute:

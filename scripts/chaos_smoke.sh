@@ -1,0 +1,59 @@
+#!/bin/sh
+# chaos_smoke.sh — the resilience CI gate: run the Real-mode hetero
+# matmul under the deterministic fault injector at a fixed seed and
+# assert (a) the result still verifies against the reference product
+# (zero semantic violations), and (b) faults were actually injected
+# and retried, so the pass is meaningful and not a fault-free run.
+#
+# Two profiles are exercised: the retry profile (faults absorbed by
+# the backoff loop alone) and the breaker profile (fault rate high
+# enough to quarantine the card, so the run finishes via host
+# re-route). Run from the repository root (make chaos-smoke).
+set -eu
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT INT TERM
+
+fail=0
+
+# has LINE SUBSTRING — succeed if SUBSTRING occurs in LINE.
+has() {
+    case $1 in *"$2"*) return 0 ;; esac
+    return 1
+}
+
+profile() { # name hsbench-flags...
+    name=$1; shift
+    if ! go run ./cmd/hsbench -fig chaos "$@" >"$out" 2>&1; then
+        echo "FAIL $name: hsbench exited nonzero"; cat "$out"; fail=1; return 1
+    fi
+    line=$(grep '^chaos:' "$out" || true)
+    if [ -z "$line" ]; then
+        echo "FAIL $name: no chaos summary line"; cat "$out"; fail=1; return 1
+    fi
+    echo "$name: $line"
+    if ! has "$line" "verify=ok"; then
+        echo "FAIL $name: result did not verify"; fail=1; return 1
+    fi
+    if has "$line" "faults-injected=0 "; then
+        echo "FAIL $name: fault plan never fired, the gate proved nothing"; fail=1; return 1
+    fi
+    return 0
+}
+
+# Retry profile: the default plan (p=0.05, seed 1, 8 re-attempts) must
+# verify with nonzero retries and no quarantine.
+if profile retry -fault-seed 1; then
+    has "$line" "quarantines=0" || { echo "FAIL retry: unexpected quarantine"; fail=1; }
+    has "$line" "retries=0 " && { echo "FAIL retry: zero retries under faults"; fail=1; }
+fi
+
+# Breaker profile: p=0.4 with a 3-failure threshold and a single
+# re-attempt trips the card's breaker; the run must still verify via
+# host re-route.
+if profile breaker -fault-seed 1 -faults 0.4 -breaker 3 -retry 1; then
+    has "$line" "quarantines=1" || { echo "FAIL breaker: breaker never tripped"; fail=1; }
+    has "$line" "reroutes=0 " && { echo "FAIL breaker: nothing re-routed after the trip"; fail=1; }
+fi
+
+exit $fail

@@ -1,0 +1,164 @@
+// Command doclint enforces the repository's godoc floor: every listed
+// package must carry a package comment, and every exported top-level
+// declaration (funcs, methods, types, and const/var groups) must have
+// a doc comment. It is wired into `make doclint` (and `make check`)
+// over the paper-critical packages, so an undocumented export fails
+// CI the same way a broken test does.
+//
+// Usage: go run ./scripts/doclint <pkg-dir>...
+//
+// The tool parses source directly (go/parser with comments) instead
+// of go/doc so it needs no type information and stays fast; _test.go
+// files are exempt.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <pkg-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented declaration(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and reports every missing doc
+// comment, returning the count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, name := range sortedKeys(pkgs) {
+		pkg := pkgs[name]
+		if !hasPackageDoc(pkg) {
+			fmt.Printf("%s: package %s has no package comment\n", dir, name)
+			bad++
+		}
+		for _, fname := range sortedKeys(pkg.Files) {
+			bad += lintFile(fset, pkg.Files[fname])
+		}
+	}
+	return bad
+}
+
+// hasPackageDoc reports whether any file of the package carries the
+// package comment (one file per package is enough, per convention).
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lintFile reports every exported, undocumented top-level declaration
+// of one file.
+func lintFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what string) {
+		fmt.Printf("%s: %s has no doc comment\n", fset.Position(pos), what)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			// Methods on unexported receivers are not part of the
+			// package's godoc surface even when their name is exported
+			// (interface implementations like Error or String).
+			if d.Name.IsExported() && d.Doc == nil && ast.IsExported(recvName(d)) {
+				report(d.Pos(), "exported "+funcLabel(d))
+			}
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+						report(ts.Pos(), "exported type "+ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				// A group doc covers every spec in the group; an
+				// undocumented group needs per-spec docs for its
+				// exported names.
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Doc != nil || vs.Comment != nil {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.IsExported() {
+							report(n.Pos(), fmt.Sprintf("exported %s %s", d.Tok, n.Name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// recvName returns the receiver type name of a method declaration,
+// or — so top-level functions lint on their own name — the function
+// name itself.
+func recvName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		t = s.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "?"
+}
+
+// funcLabel names a function or method for the report.
+func funcLabel(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "function " + d.Name.Name
+	}
+	return fmt.Sprintf("method %s.%s", recvName(d), d.Name.Name)
+}
+
+// sortedKeys returns m's keys in sorted order for stable output.
+func sortedKeys[M map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
