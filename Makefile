@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build test race vet fmt golden doclint debug-smoke chaos-smoke \
-	check bench clean bench-sched bench-sched-guard bench-sched-smoke
+	check bench clean bench-sched bench-sched-guard bench-sched-smoke \
+	bench-trace
 
 # DOC_PKGS are the packages held to the godoc floor by doclint: the
 # paper-critical stack plus the facade.
@@ -64,9 +65,13 @@ bench:
 
 # bench-sched measures scheduler actions/sec (best-of-N sampling lives
 # in the test) and rewrites BENCH_sched_throughput.json; commit the
-# result when the scheduler intentionally changes speed.
+# result when the scheduler intentionally changes speed. This target
+# is the ONLY way the committed artifact gets rewritten — a plain
+# `go test ./...` measures but never writes (SCHED_BENCH_OUT unset),
+# so routine test runs cannot clobber the baseline with an outlier.
 bench-sched:
-	$(GO) test -run 'TestSchedThroughputArtifact$$' -count=1 -v .
+	SCHED_BENCH_OUT=BENCH_sched_throughput.json \
+		$(GO) test -run 'TestSchedThroughputArtifact$$' -count=1 -v .
 
 # bench-sched-guard fails if a fresh measurement regresses >10%
 # against the committed artifact.
@@ -77,6 +82,14 @@ bench-sched-guard:
 # benchmark workload still executes cleanly.
 bench-sched-smoke:
 	$(GO) test -bench SchedThroughput -benchtime 1x -run '^$$' .
+
+# bench-trace measures flight-recorder overhead on the tier-1 matmul
+# and rewrites BENCH_trace_overhead.json; like bench-sched, this
+# target is the only writer of the committed artifact (TRACE_BENCH_OUT
+# unset during plain test runs).
+bench-trace:
+	TRACE_BENCH_OUT=BENCH_trace_overhead.json \
+		$(GO) test -run 'TestTraceOverheadBudget$$' -count=1 -v .
 
 clean:
 	$(GO) clean ./...

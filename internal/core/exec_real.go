@@ -214,7 +214,7 @@ func (re *realExec) runCard(a *Action, dr *domainRes) error {
 		}
 		dr.fail()
 		if dl > 0 && re.now()-t0 >= dl {
-			a.deadlineHit = true
+			a.resNote().deadlineHit = true
 			dr.deadlines.Inc()
 			return fmt.Errorf("%w: %s after %d attempt(s), last error: %v",
 				ErrDeadlineExceeded, a.kind, attempt+1, err)
@@ -226,8 +226,9 @@ func (re *realExec) runCard(a *Action, dr *domainRes) error {
 			return err
 		}
 		wait := rp.wait(a.id, attempt)
-		a.retries++
-		a.retryWait += wait
+		note := a.resNote()
+		note.retries++
+		note.retryWait += wait
 		dr.retries.Inc()
 		if wait > 0 {
 			time.Sleep(wait)
@@ -288,7 +289,7 @@ func (re *realExec) runRerouted(a *Action, dr *domainRes) error {
 	if err := dr.awaitFlush(re); err != nil {
 		return err
 	}
-	a.rerouted = true
+	a.resNote().rerouted = true
 	dr.rerouted.Inc()
 	s := a.stream
 	if a.kind == ActCompute {
