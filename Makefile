@@ -2,12 +2,12 @@ GO ?= go
 
 .PHONY: all build test race vet fmt golden doclint debug-smoke chaos-smoke \
 	check bench clean bench-sched bench-sched-guard bench-sched-smoke \
-	bench-trace
+	bench-trace bench-telemetry bench-telemetry-smoke
 
 # DOC_PKGS are the packages held to the godoc floor by doclint: the
 # paper-critical stack plus the facade.
 DOC_PKGS = internal/fault internal/fabric internal/coi internal/core \
-	internal/trace internal/metrics .
+	internal/trace internal/metrics internal/telemetry .
 
 all: build
 
@@ -57,8 +57,8 @@ chaos-smoke:
 # check is the pre-commit gate: build, vet, formatting, the doc lint,
 # the exposition golden, tests under the race detector, a single-shot
 # scheduler throughput smoke (function, not timing — the timing gate
-# is bench-sched-guard), and the chaos smoke.
-check: build vet fmt doclint golden race bench-sched-smoke chaos-smoke
+# is bench-sched-guard), the telemetry smoke, and the chaos smoke.
+check: build vet fmt doclint golden race bench-sched-smoke bench-telemetry-smoke chaos-smoke
 
 bench:
 	$(GO) run ./cmd/hsbench -fig all
@@ -90,6 +90,21 @@ bench-sched-smoke:
 bench-trace:
 	TRACE_BENCH_OUT=BENCH_trace_overhead.json \
 		$(GO) test -run 'TestTraceOverheadBudget$$' -count=1 -v .
+
+# bench-telemetry measures the combined trace + sampler + exemplar
+# stack against a bare run on the tier-1 matmul and rewrites
+# BENCH_telemetry_overhead.json; like the other bench targets, this is
+# the only writer of the committed artifact (TELEM_BENCH_OUT unset
+# during plain test runs).
+bench-telemetry:
+	TELEM_BENCH_OUT=BENCH_telemetry_overhead.json \
+		$(GO) test -run 'TestTelemetryOverheadBudget$$' -count=1 -v .
+
+# bench-telemetry-smoke proves a sampled run yields a fully-populated
+# timeline (rates, exemplar-carrying quantiles, utilization, links) —
+# function, not timing; the timing gate is bench-telemetry.
+bench-telemetry-smoke:
+	$(GO) test -run 'TestTimelineSmoke$$' -count=1 .
 
 clean:
 	$(GO) clean ./...

@@ -42,6 +42,7 @@ import (
 	"hstreams/internal/platform"
 	"hstreams/internal/solver"
 	"hstreams/internal/stencil"
+	"hstreams/internal/telemetry"
 	"hstreams/internal/trace"
 	"hstreams/internal/workload"
 )
@@ -49,10 +50,13 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8, 9, overhead, ompss, rtm, tuning, lu, all, chaos")
 	metricsFile := flag.String("metrics", "", "write accumulated runtime telemetry to this file in Prometheus text format ('-' for stdout)")
-	debugAddr := flag.String("debug-addr", "", "serve live debug endpoints (/metrics, /debug/pprof, /debug/trace, /debug/streams, /debug/critpath) on this address, e.g. 127.0.0.1:6060 (port 0 picks a free port)")
+	debugAddr := flag.String("debug-addr", "", "serve live debug endpoints (/metrics, /debug/pprof, /debug/trace, /debug/streams, /debug/critpath, /debug/timeline) on this address, e.g. 127.0.0.1:6060 (port 0 picks a free port)")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the figures finish (requires -debug-addr)")
 	critpath := flag.Bool("critpath", false, "print the critical-path report of the last schedule after the figures finish")
 	traceFile := flag.String("trace", "", "write the flight recorder's retained spans as Chrome trace JSON to this file (load in Perfetto for dependency arrows)")
+	timeline := flag.Bool("timeline", false, "sample the registry continuously and print the rolling-window telemetry views (rates, quantiles, utilization, queues, links) after the figures finish")
+	checkpointFile := flag.String("checkpoint", "", "serialize the last schedule's DAG (spans, dep edges, costs, config) to this versioned file for later -replay")
+	replayFile := flag.String("replay", "", "re-execute a checkpointed DAG in Sim mode, assert it is edge-for-edge identical and deterministic, print its critical path, and exit")
 	flag.Float64Var(&chaosOpts.prob, "faults", 0, "fault-injection probability for transfer and kernel faults in the chaos figure (0 uses its default)")
 	flag.Uint64Var(&chaosOpts.seed, "fault-seed", 1, "seed for the deterministic fault injector (chaos figure)")
 	flag.IntVar(&chaosOpts.retry, "retry", 0, "max re-attempts per transiently failing action in the chaos figure (0 uses its default)")
@@ -60,6 +64,20 @@ func main() {
 	flag.DurationVar(&chaosOpts.deadline, "deadline", 0, "per-action deadline across attempts in the chaos figure (0 disables)")
 	flag.IntVar(&chaosOpts.breaker, "breaker", 0, "consecutive transient failures that quarantine a domain in the chaos figure (0 disables the breaker)")
 	flag.Parse()
+
+	if *replayFile != "" {
+		runReplay(*replayFile)
+		return
+	}
+
+	// The sampler feeds the process-wide telemetry store; it runs
+	// whenever something will read it — the -timeline rendering or the
+	// debug server's /debug/timeline endpoint.
+	var sampler *telemetry.Sampler
+	if *timeline || *debugAddr != "" {
+		sampler = telemetry.NewSampler(telemetry.SamplerOptions{Interval: 100 * time.Millisecond})
+		sampler.Start()
+	}
 
 	if *debugAddr != "" {
 		srv, err := debugserver.Start(*debugAddr, debugserver.Options{})
@@ -95,6 +113,13 @@ func main() {
 		f()
 	}
 	telemetrySummary()
+	if *timeline {
+		sampler.Stop() // takes the final end-of-run sample
+		fmt.Print(telemetry.Build(sampler.Store(), metrics.Default(), 0).Format())
+	}
+	if *checkpointFile != "" {
+		check(writeCheckpoint(*checkpointFile))
+	}
 	if *metricsFile != "" {
 		check(writeMetrics(*metricsFile))
 	}
@@ -158,6 +183,57 @@ func writeChromeTrace(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeCheckpoint serializes the latest run's DAG from the
+// process-wide flight recorder to a versioned checkpoint file.
+func writeCheckpoint(path string) error {
+	latest := trace.LatestRun(trace.DefaultFlight().Snapshot())
+	if len(latest) == 0 {
+		return fmt.Errorf("checkpoint: flight recorder holds no spans")
+	}
+	c, err := core.CheckpointRun(trace.DefaultFlight(), latest[0].Run)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint: run %d, %d streams, %d actions → %s\n",
+		c.Run, len(c.Streams), len(c.Actions), path)
+	return nil
+}
+
+// runReplay loads a checkpoint, replays it twice in Sim mode, asserts
+// the replays are deterministic (identical makespan and critical-path
+// category sums), and prints the first replay's critical-path report.
+// The per-replay edge-for-edge DAG identity check lives inside
+// Checkpoint.Replay. Exits nonzero on any mismatch.
+func runReplay(path string) {
+	f, err := os.Open(path)
+	check(err)
+	c, err := core.DecodeCheckpoint(f)
+	f.Close()
+	check(err)
+	r1, err := c.Replay()
+	check(err)
+	r2, err := c.Replay()
+	check(err)
+	if r1.Makespan != r2.Makespan || r1.Report.CategorySum() != r2.Report.CategorySum() {
+		log.Fatalf("replay nondeterministic: makespan %v vs %v, category sum %v vs %v",
+			r1.Makespan, r2.Makespan, r1.Report.CategorySum(), r2.Report.CategorySum())
+	}
+	fmt.Printf("replay: %s run %d (%s mode originally), %d actions, makespan %v — DAG edge-for-edge identical, deterministic across 2 replays\n",
+		path, c.Run, c.Mode, r1.Actions, r1.Makespan)
+	fmt.Print(r1.Report.Format())
 }
 
 func check(err error) {

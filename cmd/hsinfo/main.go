@@ -9,7 +9,12 @@
 // dumps the live telemetry registry — a quick end-to-end check that
 // the observability stack sees every layer.
 //
-// Usage: hsinfo [-machine HSW+2KNC] [-metrics json|prom]
+// With -timeline, the same probe runs under a continuous telemetry
+// sampler and the rolling-window views (rates, quantiles, utilization,
+// queues, links) are rendered — the smallest end-to-end demo of the
+// telemetry layer.
+//
+// Usage: hsinfo [-machine HSW+2KNC] [-metrics json|prom] [-timeline]
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"hstreams/internal/debugserver"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
+	"hstreams/internal/telemetry"
 )
 
 func machines() map[string]*platform.Machine {
@@ -39,6 +45,7 @@ func machines() map[string]*platform.Machine {
 func main() {
 	name := flag.String("machine", "", "show one machine (default: all)")
 	metricsFmt := flag.String("metrics", "", "after enumeration, probe the machine in Sim mode and dump live telemetry: json or prom")
+	timeline := flag.Bool("timeline", false, "after enumeration, probe the machine in Sim mode under the continuous sampler and render the rolling-window telemetry views")
 	debugAddr := flag.String("debug-addr", "", "serve live debug endpoints on this address while hsinfo runs (port 0 picks a free port)")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long before exiting (requires -debug-addr)")
 	flag.Parse()
@@ -86,6 +93,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *timeline {
+		if err := dumpTimeline(ms[probeMachine]); err != nil {
+			fmt.Fprintf(os.Stderr, "hsinfo: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpTimeline runs the probe workload under a private registry and a
+// fast continuous sampler, then renders the derived rolling-window
+// views — the telemetry counterpart of dumpMetrics.
+func dumpTimeline(m *platform.Machine) error {
+	reg := metrics.New()
+	store := telemetry.NewStore(telemetry.DefWindow, telemetry.DefSlots)
+	sampler := telemetry.NewSampler(telemetry.SamplerOptions{
+		Registry: reg,
+		Store:    store,
+		Interval: 2 * time.Millisecond,
+	})
+	rt, err := core.Init(core.Config{Machine: m, Mode: core.ModeSim, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	sampler.Start()
+	perr := probe(rt)
+	rt.Fini()
+	sampler.Stop()
+	if perr != nil {
+		return perr
+	}
+	fmt.Printf("rolling-window telemetry after Sim probe of %s:\n", m)
+	fmt.Print(telemetry.Build(store, reg, 0).Format())
+	return nil
 }
 
 // dumpMetrics runs the probe workload on m under a private registry

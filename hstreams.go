@@ -26,11 +26,15 @@
 package hstreams
 
 import (
+	"io"
+	"time"
+
 	"hstreams/internal/app"
 	"hstreams/internal/core"
 	"hstreams/internal/fault"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
+	"hstreams/internal/telemetry"
 	"hstreams/internal/trace"
 )
 
@@ -174,6 +178,96 @@ func AnalyzeCriticalPath(spans []Span) *CritReport { return trace.Analyze(spans)
 
 // LatestRunSpans filters spans down to the most recent run id present.
 func LatestRunSpans(spans []Span) []Span { return trace.LatestRun(spans) }
+
+// Continuous-telemetry types (internal/telemetry). A TelemetrySampler
+// periodically snapshots a MetricsRegistry into a TelemetryStore of
+// rolling time-series rings; BuildTimeline derives the bounded
+// windowed view (rates, latency quantiles with exemplars, per-domain
+// utilization attribution, queue watermarks, link occupancy) that the
+// /debug/timeline endpoint serves and `hsbench -timeline` prints.
+type (
+	// TelemetryStore is a rolling-window time-series store.
+	TelemetryStore = telemetry.Store
+	// TelemetrySampler periodically snapshots a registry into a store.
+	TelemetrySampler = telemetry.Sampler
+	// TelemetrySamplerOptions configures NewTelemetrySampler.
+	TelemetrySamplerOptions = telemetry.SamplerOptions
+	// Timeline is the derived windowed view of a store.
+	Timeline = telemetry.Timeline
+)
+
+// NewTelemetryStore returns a private rolling store retaining the
+// given window at the given number of ring slots (non-positive: the
+// package defaults, one minute at 250ms resolution).
+func NewTelemetryStore(window time.Duration, slots int) *TelemetryStore {
+	return telemetry.NewStore(window, slots)
+}
+
+// DefaultTelemetry returns the process-wide store that samplers feed
+// when SamplerOptions.Store is nil — the store the debug server's
+// /debug/timeline endpoint reads.
+func DefaultTelemetry() *TelemetryStore { return telemetry.Default() }
+
+// NewTelemetrySampler builds a sampler over opt's registry and store
+// (nil: process defaults). Call Start to begin sampling and Stop to
+// halt; Stop takes a final sample so short runs are still visible.
+func NewTelemetrySampler(opt TelemetrySamplerOptions) *TelemetrySampler {
+	return telemetry.NewSampler(opt)
+}
+
+// BuildTimeline derives the windowed view from a store (non-positive
+// window: the store's full window). reg supplies histogram exemplars;
+// pass the registry the sampler snapshots, or nil to skip exemplars.
+func BuildTimeline(st *TelemetryStore, reg *MetricsRegistry, window time.Duration) *Timeline {
+	return telemetry.Build(st, reg, window)
+}
+
+// Checkpoint/replay types (internal/core). A Checkpoint serializes a
+// completed run's action DAG — streams, actions, dependence edges,
+// payload sizes, costs, and the machine — to a versioned JSON file;
+// Replay re-executes it in Sim mode and asserts the reconstructed DAG
+// is edge-for-edge identical, making any run a deterministic,
+// shareable reproducer.
+type (
+	// Checkpoint is a serialized run DAG (version CheckpointVersion).
+	Checkpoint = core.Checkpoint
+	// CheckpointAction is one serialized action with its dep edges.
+	CheckpointAction = core.CkptAction
+	// CheckpointStream is one serialized stream binding.
+	CheckpointStream = core.CkptStream
+	// ReplayResult reports a replayed run's DAG size, makespan and
+	// critical-path analysis.
+	ReplayResult = core.ReplayResult
+)
+
+// CheckpointVersion is the checkpoint format version this build
+// writes and the only version DecodeCheckpoint accepts.
+const CheckpointVersion = core.CheckpointVersion
+
+// Checkpoint/replay errors, re-exported for errors.Is tests.
+var (
+	// ErrCheckpointVersion reports a version-field mismatch.
+	ErrCheckpointVersion = core.ErrCheckpointVersion
+	// ErrCheckpointInvalid reports a structurally broken checkpoint.
+	ErrCheckpointInvalid = core.ErrCheckpointInvalid
+	// ErrCheckpointEvicted reports that the run's stream geometry has
+	// been evicted from the bounded in-process registry.
+	ErrCheckpointEvicted = core.ErrCheckpointEvicted
+	// ErrReplayDiverged reports a replayed DAG that differs from the
+	// checkpoint's recorded edges.
+	ErrReplayDiverged = core.ErrReplayDiverged
+)
+
+// CheckpointRun serializes the given run's spans from a flight
+// recorder (use LatestRunSpans' run selection via Runtime.Checkpoint
+// for the common case).
+func CheckpointRun(fr *FlightRecorder, run uint64) (*Checkpoint, error) {
+	return core.CheckpointRun(fr, run)
+}
+
+// DecodeCheckpoint reads and validates a checkpoint written by
+// Checkpoint.Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) { return core.DecodeCheckpoint(r) }
 
 // App-API types (the convenience layer, hStreams' "app API").
 type (

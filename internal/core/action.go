@@ -120,6 +120,13 @@ type Action struct {
 	// at ~1.5pp of the <5% tracing budget on the tier-1 matmul.
 	started bool
 	res     *resNote
+
+	// Replay mode (checkpoint.go): the dependence set is prescribed by
+	// a checkpoint instead of discovered from operands, so enqueue
+	// skips the operand scan and barrier bookkeeping, and replayWhy
+	// supplies the recorded edge kind for each extraDeps entry.
+	replay    bool
+	replayWhy []trace.DepKind
 }
 
 // resNote is an action's resilience report, allocated lazily on the
@@ -294,7 +301,11 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 	// hazardous operand overlap; sync actions order against
 	// everything (paper §II: actions are free to execute and complete
 	// out of order as long as the FIFO semantic is not violated).
-	if a.kind == ActSync {
+	if a.replay {
+		// Replay: the checkpoint prescribes the full edge set via
+		// extraDeps; discovery and barrier bookkeeping would invent
+		// edges the original run never had.
+	} else if a.kind == ActSync {
 		for _, b := range s.inflight {
 			addDep(b, trace.DepSync)
 		}
@@ -315,10 +326,14 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 	s.inflight = append(s.inflight, a)
 	s.mu.Unlock()
 
-	for _, d := range extraDeps {
+	for i, d := range extraDeps {
+		why := trace.DepEvent
+		if a.replayWhy != nil && i < len(a.replayWhy) {
+			why = a.replayWhy[i]
+		}
 		ds := d.stream
 		ds.mu.Lock()
-		addDep(d, trace.DepEvent)
+		addDep(d, why)
 		ds.mu.Unlock()
 	}
 
@@ -346,7 +361,11 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 		rt.notifyReadyLaunch(a)
 		rt.exec.launch(a)
 	}
-	if se, ok := rt.exec.(*simExec); ok {
+	// Replay must not pump completions mid-enqueue: a predecessor
+	// finishing before its successor enqueues would drop the recorded
+	// edge (addDep skips completed predecessors), breaking the
+	// edge-for-edge identity the replay asserts.
+	if se, ok := rt.exec.(*simExec); ok && !a.replay {
 		se.maybeDrain(s)
 	}
 	return a, nil
@@ -440,6 +459,10 @@ func (rt *Runtime) finish(a *Action, err error) {
 		sp.Label = a.label
 		sp.Bytes = a.bytes
 		sp.Flops = a.cost.Flops
+		sp.CostKernel = int(a.cost.Kernel)
+		sp.CostN = a.cost.N
+		sp.CostBytes = a.cost.Bytes
+		sp.CostExtra = a.cost.Extra
 		sp.Err = err != nil
 		sp.Enqueue = a.tEnqueue
 		sp.Ready = a.tReady

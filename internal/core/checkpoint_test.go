@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hstreams/internal/metrics"
+	"hstreams/internal/platform"
+	"hstreams/internal/trace"
+)
+
+// tracedRuntime is simRuntime/realRuntime with a private flight
+// recorder, so checkpoint tests never race other tests for the
+// process-wide ring.
+func tracedRuntime(t *testing.T, mode Mode, cards int) (*Runtime, *trace.FlightRecorder) {
+	t.Helper()
+	fl := trace.NewFlight(1 << 13)
+	rt, err := Init(Config{
+		Machine: platform.HSWPlusKNC(cards),
+		Mode:    mode,
+		Metrics: metrics.New(),
+		Flight:  fl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Fini)
+	return rt, fl
+}
+
+// buildCkptDAG enqueues a small but shapeful DAG: transfers, computes
+// with operand dependences, a marker, and a cross-stream event-wait —
+// one action of every checkpoint kind and one dependence edge of every
+// DepKind.
+func buildCkptDAG(t *testing.T, rt *Runtime, kernel string) {
+	t.Helper()
+	card := rt.Card(0)
+	s1, err := rt.StreamCreate(card, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rt.StreamCreate(card, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, f, err := rt.AllocFloat64("b", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f {
+		f[i] = float64(i)
+	}
+	c, _, err := rt.AllocFloat64("c", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.EnqueueXferAll(b, ToSink); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s1.EnqueueCompute(kernel, []int64{2}, []Operand{b.All(InOut)}, simCost(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.EnqueueMarker(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.EnqueueXferAll(c, ToSink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.EnqueueEventWait(ev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.EnqueueCompute(kernel, []int64{3}, []Operand{c.All(InOut)}, simCost(256)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.EnqueueXferAll(c, ToSource); err != nil {
+		t.Fatal(err)
+	}
+	rt.ThreadSynchronize()
+}
+
+// checkpointOf builds the DAG, drains it, and cuts its checkpoint.
+func checkpointOf(t *testing.T, mode Mode) *Checkpoint {
+	t.Helper()
+	rt, _ := tracedRuntime(t, mode, 1)
+	kernel := "k"
+	if mode == ModeReal {
+		registerTestKernels(rt)
+		kernel = "scale"
+	}
+	buildCkptDAG(t, rt, kernel)
+	ck, err := rt.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+// assertReplayDeterministic replays the checkpoint twice and demands
+// identical DAGs, makespans, and critical-path attribution — the
+// PR's replay-determinism acceptance criterion.
+func assertReplayDeterministic(t *testing.T, ck *Checkpoint) {
+	t.Helper()
+	r1, err := ck.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ck.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Actions != len(ck.Actions) || r2.Actions != len(ck.Actions) {
+		t.Fatalf("replayed %d and %d actions, checkpoint has %d", r1.Actions, r2.Actions, len(ck.Actions))
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Fatalf("replay makespans differ: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+	if r1.Report.CategorySum() != r2.Report.CategorySum() {
+		t.Fatalf("replay category sums differ: %v vs %v", r1.Report.CategorySum(), r2.Report.CategorySum())
+	}
+	for cat, v := range r1.Report.Categories {
+		if r2.Report.Categories[cat] != v {
+			t.Fatalf("category %q differs across replays: %v vs %v", cat, v, r2.Report.Categories[cat])
+		}
+	}
+}
+
+func TestCheckpointReplayDeterministicSim(t *testing.T) {
+	ck := checkpointOf(t, ModeSim)
+	if len(ck.Streams) != 2 || len(ck.Actions) != 7 {
+		t.Fatalf("checkpoint has %d streams, %d actions; want 2 and 7", len(ck.Streams), len(ck.Actions))
+	}
+	assertReplayDeterministic(t, ck)
+}
+
+// TestCheckpointReplayDeterministicReal cuts the checkpoint from a
+// Real-mode run — real goroutine scheduling, real transfers — and
+// replays it in Sim, where the DAG must still be edge-for-edge the
+// one the Real run recorded.
+func TestCheckpointReplayDeterministicReal(t *testing.T) {
+	ck := checkpointOf(t, ModeReal)
+	if ck.Mode != ModeReal.String() {
+		t.Fatalf("checkpoint mode = %q, want %q", ck.Mode, ModeReal.String())
+	}
+	assertReplayDeterministic(t, ck)
+}
+
+// TestCheckpointRecordsEdgeKinds pins the serialized dependence-edge
+// vocabulary: the DAG above must contain at least one fifo, one sync
+// (marker), and one event (cross-stream wait) edge, each naming an
+// earlier action.
+func TestCheckpointRecordsEdgeKinds(t *testing.T) {
+	ck := checkpointOf(t, ModeSim)
+	seen := map[string]bool{}
+	for i, ca := range ck.Actions {
+		for _, d := range ca.Deps {
+			if d.Pred < 0 || d.Pred >= i {
+				t.Fatalf("action %d has non-backward dep on %d", i, d.Pred)
+			}
+			seen[d.Why] = true
+		}
+	}
+	for _, why := range []string{"fifo", "sync", "event"} {
+		if !seen[why] {
+			t.Fatalf("no %q edge in checkpoint; saw %v", why, seen)
+		}
+	}
+}
+
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	ck := checkpointOf(t, ModeSim)
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Version != CheckpointVersion || dec.Run != ck.Run || dec.Mode != ck.Mode {
+		t.Fatalf("decoded header = %+v, want version %d run %d mode %q", dec, CheckpointVersion, ck.Run, ck.Mode)
+	}
+	if len(dec.Streams) != len(ck.Streams) || len(dec.Actions) != len(ck.Actions) {
+		t.Fatalf("decoded %d streams, %d actions; want %d, %d",
+			len(dec.Streams), len(dec.Actions), len(ck.Streams), len(ck.Actions))
+	}
+	for i := range ck.Actions {
+		a, b := ck.Actions[i], dec.Actions[i]
+		if a.Kind != b.Kind || a.Stream != b.Stream || a.Bytes != b.Bytes || a.Cost != b.Cost || len(a.Deps) != len(b.Deps) {
+			t.Fatalf("action %d did not round-trip: %+v vs %+v", i, a, b)
+		}
+	}
+	// The decoded file replays like the in-memory checkpoint.
+	assertReplayDeterministic(t, dec)
+}
+
+func TestCheckpointVersionMismatch(t *testing.T) {
+	ck := checkpointOf(t, ModeSim)
+	ck.Version = CheckpointVersion + 1
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(&buf); !errors.Is(err, ErrCheckpointVersion) {
+		t.Fatalf("decoding future version: err = %v, want ErrCheckpointVersion", err)
+	}
+}
+
+func TestCheckpointDecodeRejectsInvalid(t *testing.T) {
+	ck := checkpointOf(t, ModeSim)
+	ck.Actions[0].Deps = append(ck.Actions[0].Deps, CkptDep{Pred: len(ck.Actions), Why: "fifo"})
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(&buf); !errors.Is(err, ErrCheckpointInvalid) {
+		t.Fatalf("decoding forward dep: err = %v, want ErrCheckpointInvalid", err)
+	}
+}
+
+// TestCheckpointEvictedRun covers both eviction shapes: a run id the
+// recorder never saw, and a ring too small to retain the whole run.
+func TestCheckpointEvictedRun(t *testing.T) {
+	if _, err := CheckpointRun(trace.NewFlight(16), 12345); !errors.Is(err, ErrCheckpointEvicted) {
+		t.Fatalf("unknown run: err = %v, want ErrCheckpointEvicted", err)
+	}
+
+	fl := trace.NewFlight(4) // far smaller than the DAG below
+	rt, err := Init(Config{
+		Machine: platform.HSWPlusKNC(1),
+		Mode:    ModeSim,
+		Metrics: metrics.New(),
+		Flight:  fl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Fini)
+	buildCkptDAG(t, rt, "k")
+	if _, err := rt.Checkpoint(); !errors.Is(err, ErrCheckpointEvicted) {
+		t.Fatalf("partially evicted run: err = %v, want ErrCheckpointEvicted", err)
+	}
+}

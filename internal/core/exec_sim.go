@@ -27,16 +27,23 @@ type simExec struct {
 	// links[i] holds the two DMA directions for domain i
 	// (0: source→sink, 1: sink→source); nil for the host.
 	links [][2]*timesim.Resource
-	// linkMet[i] holds the per-direction byte/transfer counters for
-	// domain i — Sim mode never touches the fabric, so modeled
-	// traffic is accounted here under the same metric families.
-	linkMet [][2]struct{ bytes, xfers *metrics.Counter }
+	// linkMet[i] holds the per-direction byte/transfer counters and
+	// occupancy histograms for domain i — Sim mode never touches the
+	// fabric, so modeled traffic is accounted here under the same
+	// metric families.
+	linkMet [][2]struct {
+		bytes, xfers *metrics.Counter
+		occ          *metrics.Histogram
+	}
 }
 
 func newSimExec(rt *Runtime) *simExec {
 	se := &simExec{rt: rt, eng: timesim.NewEngine()}
 	se.links = make([][2]*timesim.Resource, len(rt.domains))
-	se.linkMet = make([][2]struct{ bytes, xfers *metrics.Counter }, len(rt.domains))
+	se.linkMet = make([][2]struct {
+		bytes, xfers *metrics.Counter
+		occ          *metrics.Histogram
+	}, len(rt.domains))
 	host := rt.domains[0].spec.Name
 	for i := 1; i < len(rt.domains); i++ {
 		name := rt.domains[i].spec.Name
@@ -46,8 +53,10 @@ func newSimExec(rt *Runtime) *simExec {
 		}
 		se.linkMet[i][0].bytes = rt.mets.linkBytes.With(host, name)
 		se.linkMet[i][0].xfers = rt.mets.linkXfers.With(host, name)
+		se.linkMet[i][0].occ = rt.mets.linkOcc.With(host, name)
 		se.linkMet[i][1].bytes = rt.mets.linkBytes.With(name, host)
 		se.linkMet[i][1].xfers = rt.mets.linkXfers.With(name, host)
+		se.linkMet[i][1].occ = rt.mets.linkOcc.With(name, host)
 	}
 	return se
 }
@@ -77,6 +86,7 @@ func (se *simExec) launch(a *Action) {
 			start, end = se.links[s.domain.index][dir].Reserve(ready, dur)
 			se.linkMet[s.domain.index][dir].bytes.Add(a.bytes)
 			se.linkMet[s.domain.index][dir].xfers.Inc()
+			se.linkMet[s.domain.index][dir].occ.Observe(dur)
 		}
 	case ActSync:
 		start, end = ready, ready

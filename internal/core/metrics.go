@@ -49,6 +49,8 @@ type coreMetrics struct {
 	rerouted      *metrics.CounterVec   // domain: actions re-routed to the host
 	breakerTrip   *metrics.CounterVec   // domain: breaker trips (0 or 1 per domain per run)
 	quarantined   *metrics.GaugeVec     // domain: 1 while quarantined
+	domainStreams *metrics.GaugeVec     // domain: streams attached (telemetry capacity basis)
+	linkOcc       *metrics.HistogramVec // src, dst: modeled/measured per-transfer link busy time
 }
 
 func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
@@ -69,6 +71,8 @@ func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
 		rerouted:      reg.CounterVec("hstreams_rerouted_total", "Actions re-routed from a quarantined domain to the host, by original domain.", "domain"),
 		breakerTrip:   reg.CounterVec("hstreams_breaker_trips_total", "Domain circuit-breaker trips.", "domain"),
 		quarantined:   reg.GaugeVec("hstreams_domain_quarantined", "1 while the domain is quarantined by its breaker, else 0.", "domain"),
+		domainStreams: reg.GaugeVec("hstreams_domain_streams", "Streams whose sink is bound to the domain; the telemetry layer's utilization-capacity basis.", "domain"),
+		linkOcc:       reg.HistogramVec("hstreams_link_occupancy_seconds", "Per-transfer link busy time by direction; the windowed _sum delta over wall time is link occupancy.", nil, "src", "dst"),
 	}
 }
 
@@ -165,9 +169,21 @@ func (rt *Runtime) observeFinish(a *Action, err error) {
 	sm := a.stream.met
 	k := metricKind(a.kind)
 	sm.done[k].Inc()
-	sm.dur[k].Observe(a.end - a.start)
-	sm.stall[k].Observe(a.tReady - a.tEnqueue)
-	sm.sched[k].Observe(a.start - a.tReady)
+	if rt.flight != nil {
+		// Exemplar capture: tag each histogram bucket with the span id
+		// that last landed in it, stamped with the span's own finish
+		// time so no extra clock read happens on the hot path. With
+		// causal tracing off there are no spans to link, so the plain
+		// observes keep that arm a clean overhead baseline.
+		when := int64(a.end)
+		sm.dur[k].ObserveEx(a.end-a.start, a.id, when)
+		sm.stall[k].ObserveEx(a.tReady-a.tEnqueue, a.id, when)
+		sm.sched[k].ObserveEx(a.start-a.tReady, a.id, when)
+	} else {
+		sm.dur[k].Observe(a.end - a.start)
+		sm.stall[k].Observe(a.tReady - a.tEnqueue)
+		sm.sched[k].Observe(a.start - a.tReady)
+	}
 	if err != nil {
 		rt.mets.errors.Inc()
 	}

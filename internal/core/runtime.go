@@ -228,6 +228,7 @@ func Init(cfg Config) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
 	}
+	recordRunGeom(rt)
 	registerLive(rt)
 	return rt, nil
 }

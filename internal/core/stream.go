@@ -8,6 +8,7 @@ import (
 	"hstreams/internal/coi"
 	"hstreams/internal/platform"
 	"hstreams/internal/timesim"
+	"hstreams/internal/trace"
 )
 
 // Stream is a task queue with a source endpoint (the host thread that
@@ -103,6 +104,11 @@ func (rt *Runtime) StreamCreateOn(d *Domain, firstCore, nCores int, share *Strea
 	rt.streams = append(rt.streams, s)
 	rt.mu.Unlock()
 	s.met = rt.mets.forStream(s.name, d.spec.Name)
+	// The per-domain stream count is the telemetry layer's capacity
+	// basis (utilization = busy-seconds / (span × streams)); streams
+	// are never destroyed below the runtime, so the gauge only rises.
+	rt.mets.domainStreams.With(d.spec.Name).Add(1)
+	recordStreamGeom(rt, s)
 
 	switch rt.cfg.Mode {
 	case ModeSim:
@@ -245,6 +251,23 @@ func (s *Stream) Destroy() error {
 	s.destroyed = true
 	s.mu.Unlock()
 	return s.Synchronize()
+}
+
+// enqueueReplay re-enqueues one checkpointed action with its recorded
+// dependence edges (deps/whys parallel slices of predecessor actions
+// and edge kinds). The replay flag makes enqueue take the edges as
+// prescribed instead of rediscovering them; see checkpoint.go.
+func (s *Stream) enqueueReplay(kind ActKind, label string, bytes int64, cost platform.Cost, deps []*Action, whys []trace.DepKind) (*Action, error) {
+	a := &Action{
+		kind:      kind,
+		stream:    s,
+		label:     label,
+		bytes:     bytes,
+		cost:      cost,
+		replay:    true,
+		replayWhy: whys,
+	}
+	return s.rt.enqueue(a, deps)
 }
 
 // Synchronize blocks the host until every action previously enqueued

@@ -21,6 +21,7 @@ import (
 	"hstreams/internal/core"
 	"hstreams/internal/fabric"
 	"hstreams/internal/metrics"
+	"hstreams/internal/telemetry"
 	"hstreams/internal/trace"
 )
 
@@ -35,6 +36,9 @@ type Options struct {
 	// Runtimes enumerates the runtimes /debug/streams reports on.
 	// Nil uses core.LiveRuntimes.
 	Runtimes func() []*core.Runtime
+	// Telemetry serves /debug/timeline. Nil uses telemetry.Default()
+	// (the store the CLIs' sampler feeds).
+	Telemetry *telemetry.Store
 }
 
 // Server is a running debug server.
@@ -55,6 +59,9 @@ func Start(addr string, opt Options) (*Server, error) {
 	}
 	if opt.Runtimes == nil {
 		opt.Runtimes = core.LiveRuntimes
+	}
+	if opt.Telemetry == nil {
+		opt.Telemetry = telemetry.Default()
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -82,6 +89,9 @@ func Handler(opt Options) http.Handler {
 	if opt.Runtimes == nil {
 		opt.Runtimes = core.LiveRuntimes
 	}
+	if opt.Telemetry == nil {
+		opt.Telemetry = telemetry.Default()
+	}
 	return newMux(opt)
 }
 
@@ -97,6 +107,7 @@ func newMux(opt Options) *http.ServeMux {
 	mux.HandleFunc("/debug/trace", traceHandler(opt.Flight))
 	mux.HandleFunc("/debug/streams", streamsHandler(opt.Runtimes, opt.Flight))
 	mux.HandleFunc("/debug/critpath", critpathHandler(opt.Flight))
+	mux.HandleFunc("/debug/timeline", timelineHandler(opt.Telemetry, opt.Registry))
 	return mux
 }
 
@@ -115,6 +126,9 @@ func indexHandler(w http.ResponseWriter, r *http.Request) {
   /debug/streams        live stream queues + link traffic as JSON
   /debug/critpath       critical-path report of the latest run
                         (?format=json for the full report, ?run=N to pick a run)
+  /debug/timeline       rolling-window telemetry: rates, quantiles, utilization,
+                        queues, links (JSON; ?format=text to render,
+                        ?window=10s to narrow the window)
 `)
 }
 
@@ -208,5 +222,33 @@ func critpathHandler(f *trace.FlightRecorder) http.HandlerFunc {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, rep.Format())
+	}
+}
+
+// timelineHandler serves the rolling-window telemetry views derived
+// from the process's sampler store: JSON by default, the text
+// rendering with ?format=text, and an optional ?window=<duration> to
+// narrow the derivation window below the store's full retention.
+func timelineHandler(st *telemetry.Store, reg *metrics.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		window := time.Duration(0)
+		if q := r.URL.Query().Get("window"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d <= 0 {
+				http.Error(w, fmt.Sprintf("bad window %q", q), http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		tl := telemetry.Build(st, reg, window)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, tl.Format())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tl)
 	}
 }

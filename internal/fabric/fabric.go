@@ -41,8 +41,9 @@ type Fabric struct {
 	nodes []*Node
 	links map[[2]int]*Link
 
-	bytesVec *metrics.CounterVec // src, dst
-	xfersVec *metrics.CounterVec // src, dst
+	bytesVec *metrics.CounterVec   // src, dst
+	xfersVec *metrics.CounterVec   // src, dst
+	occVec   *metrics.HistogramVec // src, dst: per-transfer wire time
 
 	// inj, when set, is consulted before every DMA (see SetInjector).
 	// Boxed behind an atomic pointer so the disabled path is one load.
@@ -68,6 +69,7 @@ func (f *Fabric) SetMetrics(reg *metrics.Registry) {
 	defer f.mu.Unlock()
 	f.bytesVec = reg.CounterVec("hstreams_link_bytes_total", "Payload bytes moved per link direction.", "src", "dst")
 	f.xfersVec = reg.CounterVec("hstreams_link_transfers_total", "Transfers per link direction.", "src", "dst")
+	f.occVec = reg.HistogramVec("hstreams_link_occupancy_seconds", "Per-transfer link busy time by direction; the windowed _sum delta over wall time is link occupancy.", nil, "src", "dst")
 	for _, l := range f.links {
 		f.instrument(l)
 	}
@@ -82,8 +84,10 @@ func (f *Fabric) instrument(l *Link) {
 	l.mu.Lock()
 	l.bytesCtr[0] = f.bytesVec.With(l.a.name, l.b.name)
 	l.xfersCtr[0] = f.xfersVec.With(l.a.name, l.b.name)
+	l.occHist[0] = f.occVec.With(l.a.name, l.b.name)
 	l.bytesCtr[1] = f.bytesVec.With(l.b.name, l.a.name)
 	l.xfersCtr[1] = f.xfersVec.With(l.b.name, l.a.name)
+	l.occHist[1] = f.occVec.With(l.b.name, l.a.name)
 	l.mu.Unlock()
 }
 
@@ -234,6 +238,7 @@ type Link struct {
 	// Optional registry counters by direction (see Fabric.SetMetrics).
 	bytesCtr [2]*metrics.Counter
 	xfersCtr [2]*metrics.Counter
+	occHist  [2]*metrics.Histogram
 }
 
 // DirStats accumulates traffic accounting for one link direction.
@@ -272,11 +277,12 @@ func (l *Link) account(from *Node, n int64) time.Duration {
 	s.Transfers++
 	s.Bytes += n
 	s.ModeledTime += d
-	bc, xc := l.bytesCtr[dir], l.xfersCtr[dir]
+	bc, xc, oc := l.bytesCtr[dir], l.xfersCtr[dir], l.occHist[dir]
 	l.mu.Unlock()
 	if bc != nil {
 		bc.Add(n)
 		xc.Inc()
+		oc.Observe(d)
 	}
 	return d
 }

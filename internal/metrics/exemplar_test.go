@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	const sec = int64(time.Second)
+	r := New()
+	h := r.Histogram("lat_seconds", "test latency", []float64{0.01, 0.1, 1})
+	h.Observe(5 * time.Millisecond) // plain Observe leaves no exemplar
+	h.ObserveEx(50*time.Millisecond, 7, 1*sec)
+	h.ObserveEx(60*time.Millisecond, 8, 2*sec) // same bucket, clock advanced: last writer wins
+	h.ObserveEx(2*time.Second, 9, 3*sec)       // +Inf bucket
+
+	ex := h.Exemplars()
+	if len(ex) != 4 {
+		t.Fatalf("got %d exemplar slots, want one per bucket (4)", len(ex))
+	}
+	if ex[0].SpanID != 0 {
+		t.Fatalf("bucket 0 exemplar = %+v, want empty (plain Observe)", ex[0])
+	}
+	if ex[1].SpanID != 8 || ex[1].Value != 0.06 || ex[1].When != 2*sec {
+		t.Fatalf("bucket 1 exemplar = %+v, want last-writer span 8 at 0.06s", ex[1])
+	}
+	if ex[3].SpanID != 9 || ex[3].Value != 2 {
+		t.Fatalf("+Inf exemplar = %+v, want span 9 at 2s", ex[3])
+	}
+}
+
+// TestExemplarThrottle pins the refresh rate limit: a bucket keeps
+// its exemplar until the observer clock advances exemplarMinAge, and
+// a clock that jumps backwards (a new run reusing the registry)
+// refreshes immediately.
+func TestExemplarThrottle(t *testing.T) {
+	const sec = int64(time.Second)
+	r := New()
+	h := r.Histogram("lat_seconds", "test latency", []float64{1})
+	h.ObserveEx(50*time.Millisecond, 7, 5*sec)
+	h.ObserveEx(60*time.Millisecond, 8, 5*sec+sec/2) // within min age: kept out
+	if ex := h.Exemplars()[0]; ex.SpanID != 7 {
+		t.Fatalf("exemplar = %+v, want throttle to keep span 7", ex)
+	}
+	h.ObserveEx(70*time.Millisecond, 9, 6*sec) // clock advanced a full min age
+	if ex := h.Exemplars()[0]; ex.SpanID != 9 || ex.When != 6*sec {
+		t.Fatalf("exemplar = %+v, want refresh to span 9 after min age", ex)
+	}
+	h.ObserveEx(80*time.Millisecond, 10, 1*sec) // clock went backwards: new run
+	if ex := h.Exemplars()[0]; ex.SpanID != 10 || ex.When != 1*sec {
+		t.Fatalf("exemplar = %+v, want backwards clock to refresh to span 10", ex)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want all 4 observations counted despite throttled exemplars", got)
+	}
+}
+
+func TestSnapshotHistogramsCarriesExemplars(t *testing.T) {
+	r := New()
+	hv := r.HistogramVec("dur_seconds", "test latency", []float64{0.1}, "kind")
+	hv.With("compute").ObserveEx(50*time.Millisecond, 11, 1)
+	hv.With("transfer").ObserveEx(300*time.Millisecond, 12, 2)
+
+	byKind := map[string]HistSample{}
+	for _, hs := range r.SnapshotHistograms() {
+		if hs.Name == "dur_seconds" {
+			byKind[hs.Labels["kind"]] = hs
+		}
+	}
+	if len(byKind) != 2 {
+		t.Fatalf("got %d dur_seconds series, want 2", len(byKind))
+	}
+	c := byKind["compute"]
+	if c.Count != 1 || len(c.Exemplars) != 2 {
+		t.Fatalf("compute sample = %+v, want count 1 with 2 exemplar slots", c)
+	}
+	if c.Exemplars[0].SpanID != 11 {
+		t.Fatalf("compute bucket-0 exemplar = %+v, want span 11", c.Exemplars[0])
+	}
+	x := byKind["transfer"]
+	if x.Exemplars[1].SpanID != 12 {
+		t.Fatalf("transfer +Inf exemplar = %+v, want span 12", x.Exemplars[1])
+	}
+}
+
+// TestExemplarConcurrentObserve drives ObserveEx from many goroutines
+// while readers snapshot; the slots are independent atomics (tearing
+// between fields is tolerated by design), so the race detector is the
+// assertion here.
+func TestExemplarConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("c_seconds", "test latency", []float64{1e-3, 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveEx(time.Duration(i)*time.Microsecond, uint64(w*1000+i+1), int64(i))
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		h.Exemplars()
+		r.SnapshotHistograms()
+	}
+	wg.Wait()
+	ex := h.Exemplars()
+	if ex[0].SpanID == 0 {
+		t.Fatal("no exemplar recorded in the first bucket after 4000 observations")
+	}
+}

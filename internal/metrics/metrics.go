@@ -21,6 +21,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -104,12 +105,62 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram is a fixed-bucket distribution of durations, recorded in
 // seconds. Buckets are cumulative on export (Prometheus semantics);
 // internally each slot counts observations ≤ its bound, with a final
-// implicit +Inf slot.
+// implicit +Inf slot. Each bucket additionally keeps one exemplar
+// slot: the most recent observation that landed in it, stamped with
+// the observer-supplied span id (see ObserveEx), which is how latency
+// buckets link back to flight-recorder spans.
 type Histogram struct {
 	bounds   []float64 // sorted upper bounds in seconds
 	counts   []atomic.Int64
+	ex       []exSlot // one per counts slot
 	count    atomic.Int64
 	sumNanos atomic.Int64
+	// exGate is the per-histogram exemplar throttle: the observer
+	// clock of the last exemplar refresh. It sits next to count and
+	// sumNanos, which every observation already touches, so the
+	// steady-state ObserveEx check is a load of an already-hot cache
+	// line rather than of the cold ex slots.
+	exGate atomic.Uint64
+}
+
+// exSlot is one bucket's exemplar: the span id, observed value
+// (float64 bits) and runtime-clock nanos of the most recent
+// observation that refreshed it. The three words are written with
+// independent atomic stores — a reader racing a writer can see a
+// mixed exemplar (span from one observation, value from another).
+// That tearing is accepted by design: exemplars are diagnostic
+// pointers, not accounting.
+//
+// Refreshes are throttled per histogram (exGate): an exemplar is
+// accepted at most once per exemplarMinAge of the observer's clock,
+// plus whenever the clock jumps backwards — a new run reusing the
+// registry. Atomic stores are full barriers on the common
+// architectures, and the ex slots live on cache lines the hot path
+// otherwise never touches, so refreshing on every observation
+// measurably slowed the action path; the gate turns the steady-state
+// cost into one load of a line Observe already dirties. Operators
+// cannot tell: timeline windows are seconds-to-minutes, and a
+// refresh per second per histogram keeps the populated buckets'
+// exemplars current.
+type exSlot struct {
+	span atomic.Uint64
+	bits atomic.Uint64
+	when atomic.Uint64
+}
+
+// exemplarMinAge is the minimum observer-clock advance between
+// exemplar refreshes of one histogram.
+const exemplarMinAge = uint64(time.Second)
+
+// Exemplar links one histogram bucket to the most recent observation
+// recorded into it: the flight-recorder span id that produced the
+// observation, the observed value in seconds, and the runtime-clock
+// nanos of the observation. A zero SpanID means the bucket has no
+// exemplar yet. Exemplars are best-effort (see exSlot).
+type Exemplar struct {
+	SpanID uint64  `json:"span"`
+	Value  float64 `json:"value_seconds"`
+	When   int64   `json:"when_nanos"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -118,7 +169,7 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1), ex: make([]exSlot, len(b)+1)}
 }
 
 // Observe records one duration.
@@ -133,6 +184,47 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sumNanos.Add(int64(d))
+}
+
+// ObserveEx is Observe plus exemplar capture: the matching bucket's
+// exemplar slot is refreshed with (span, d, when), where span is a
+// flight-recorder span id and when is the runtime clock at the
+// observation. Refreshes are rate-limited per histogram (see
+// exSlot), so in steady state the extra cost over Observe is one
+// uncontended atomic load of an already-hot cache line — no
+// allocation, no lock.
+func (h *Histogram) ObserveEx(d time.Duration, span uint64, when int64) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	w := uint64(when)
+	if g := h.exGate.Load(); g == 0 || w < g || w-g >= exemplarMinAge {
+		h.exGate.Store(w)
+		e := &h.ex[i]
+		e.span.Store(span)
+		e.bits.Store(math.Float64bits(s))
+		e.when.Store(w)
+	}
+}
+
+// Exemplars returns one Exemplar per bucket slot (the last entry is
+// the +Inf bucket), zero-SpanID entries marking buckets nothing has
+// landed in. Safe to call concurrently with observations.
+func (h *Histogram) Exemplars() []Exemplar {
+	out := make([]Exemplar, len(h.ex))
+	for i := range h.ex {
+		out[i] = Exemplar{
+			SpanID: h.ex[i].span.Load(),
+			Value:  math.Float64frombits(h.ex[i].bits.Load()),
+			When:   int64(h.ex[i].when.Load()),
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -359,6 +451,49 @@ func (r *Registry) Snapshot() []Sample {
 					Sample{Name: f.name + "_count", Labels: labels, Value: float64(m.Count())},
 					Sample{Name: f.name + "_sum", Labels: labels, Value: m.Sum().Seconds()})
 			}
+		}
+	}
+	return out
+}
+
+// HistSample is one histogram series with full bucket detail — what
+// Snapshot flattens away. The rolling-telemetry sampler
+// (internal/telemetry) records the cumulative bucket counts as
+// per-bucket time series, from which windowed quantiles are derived.
+type HistSample struct {
+	Name   string
+	Labels map[string]string
+	// Bounds are the finite upper bounds in seconds; Cumulative has
+	// len(Bounds)+1 entries, the last being the +Inf bucket.
+	Bounds     []float64
+	Cumulative []int64
+	Count      int64
+	SumSeconds float64
+	// Exemplars holds one entry per Cumulative slot; zero-SpanID
+	// entries mark buckets with no exemplar yet.
+	Exemplars []Exemplar
+}
+
+// SnapshotHistograms returns a point-in-time view of every histogram
+// series with bucket detail and exemplars, sorted by name then labels.
+func (r *Registry) SnapshotHistograms() []HistSample {
+	var out []HistSample
+	for _, f := range r.sortedFamilies() {
+		if f.typ != HistogramType {
+			continue
+		}
+		for _, s := range f.sortedSeries() {
+			h := s.metric.(*Histogram)
+			bounds, cum := h.Buckets()
+			out = append(out, HistSample{
+				Name:       f.name,
+				Labels:     f.labelsOf(s),
+				Bounds:     bounds,
+				Cumulative: cum,
+				Count:      h.Count(),
+				SumSeconds: h.Sum().Seconds(),
+				Exemplars:  h.Exemplars(),
+			})
 		}
 	}
 	return out

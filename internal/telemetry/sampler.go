@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"hstreams/internal/metrics"
+)
+
+// SamplerOptions configures NewSampler. The zero value samples the
+// process-default registry into the process-default store every
+// DefInterval.
+type SamplerOptions struct {
+	// Registry is the metrics registry to snapshot. Nil means
+	// metrics.Default().
+	Registry *metrics.Registry
+	// Store receives the sampled points. Nil means Default().
+	Store *Store
+	// Interval is the sampling period. Non-positive means DefInterval.
+	Interval time.Duration
+}
+
+// Sampler periodically snapshots a metrics registry into a Store. It
+// walks the registry's lock-free atomics (Snapshot plus
+// SnapshotHistograms for per-bucket detail), so sampling never blocks
+// the scheduler hot path; the only synchronization is the store's own
+// mutex, which no scheduler goroutine touches.
+//
+// The sampler registers two self-metrics on the registry it samples —
+// hstreams_telemetry_samples_total and hstreams_telemetry_series — so
+// its own liveness shows up in the timeline it produces.
+type Sampler struct {
+	reg      *metrics.Registry
+	store    *Store
+	interval time.Duration
+
+	samples *metrics.Counter
+	series  *metrics.Gauge
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+
+	// Cached ring handles from the previous tick, aligned with the
+	// registry's deterministic snapshot order. Each entry is validated
+	// (name + labels, or histogram name + bound) before reuse, so a
+	// registry that grew mid-run only costs the shifted entries one
+	// slow-path resolution; the steady state never rebuilds the
+	// store's sorted-label keys. Touched only by the sampling
+	// goroutine (or synchronous SampleOnce callers).
+	scalars []*ringSeries
+	buckets []bucketSlot
+}
+
+// bucketSlot caches one histogram bucket's ring, identified by the
+// histogram family name, base labels (held by the ring itself), and
+// bucket bound (+Inf for the overflow bucket).
+type bucketSlot struct {
+	rs       *ringSeries
+	histName string
+	bound    float64
+}
+
+// NewSampler builds a sampler from opts (see SamplerOptions for the
+// zero-value defaults). The sampler is idle until Start; SampleOnce
+// may also be called directly for synchronous, test-controlled
+// sampling.
+func NewSampler(opts SamplerOptions) *Sampler {
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	st := opts.Store
+	if st == nil {
+		st = Default()
+	}
+	iv := opts.Interval
+	if iv <= 0 {
+		iv = DefInterval
+	}
+	return &Sampler{
+		reg:      reg,
+		store:    st,
+		interval: iv,
+		samples:  reg.Counter("hstreams_telemetry_samples_total", "Snapshots taken by the telemetry sampler."),
+		series:   reg.Gauge("hstreams_telemetry_series", "Time series retained in the telemetry store."),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Store returns the store this sampler writes to.
+func (s *Sampler) Store() *Store { return s.store }
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Start launches the sampling goroutine. It takes one sample
+// immediately, then one per interval until Stop. Start is idempotent.
+func (s *Sampler) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			s.SampleOnce(time.Now())
+			t := time.NewTicker(s.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case now := <-t.C:
+					s.SampleOnce(now)
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampling goroutine and waits for it to exit, then
+// takes one final sample so the store's newest points reflect the
+// end-of-run totals. Stop is idempotent and safe to call even if
+// Start never ran.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+	})
+	s.startOnce.Do(func() { close(s.done) }) // never started: mark done
+	<-s.done
+	s.SampleOnce(time.Now())
+}
+
+// SampleOnce takes one synchronous snapshot of the registry at the
+// given sample time: every flat sample (counters, gauges, histogram
+// _count/_sum) becomes a point, and every histogram bucket becomes a
+// point on a "<name>_bucket" series with an additional le label, so
+// windowed quantiles can be derived from bucket-count deltas.
+func (s *Sampler) SampleOnce(now time.Time) {
+	samples := s.reg.Snapshot()
+	hists := s.reg.SnapshotHistograms()
+	nb := 0
+	for _, h := range hists {
+		nb += len(h.Bounds) + 1
+	}
+
+	st := s.store
+	st.mu.Lock()
+	if len(s.scalars) != len(samples) {
+		s.scalars = make([]*ringSeries, len(samples))
+	}
+	for i, smp := range samples {
+		rs := s.scalars[i]
+		if rs == nil || rs.name != smp.Name || !labelsEqual(rs.labels, smp.Labels) {
+			rs = st.seriesLocked(smp.Name, smp.Labels)
+			s.scalars[i] = rs
+		}
+		rs.put(Point{T: now, V: smp.Value})
+	}
+	if len(s.buckets) != nb {
+		s.buckets = make([]bucketSlot, nb)
+	}
+	j := 0
+	for _, h := range hists {
+		for i := 0; i <= len(h.Bounds); i++ {
+			b := math.Inf(1)
+			v := float64(h.Count)
+			if i < len(h.Bounds) {
+				b = h.Bounds[i]
+				v = float64(h.Cumulative[i])
+			}
+			sl := &s.buckets[j]
+			j++
+			if sl.rs == nil || sl.histName != h.Name || sl.bound != b || !bucketLabelsMatch(sl.rs.labels, h.Labels) {
+				le := "+Inf"
+				if !math.IsInf(b, 1) {
+					le = formatLE(b)
+				}
+				sl.rs = st.seriesLocked(h.Name+"_bucket", withLE(h.Labels, le))
+				sl.histName, sl.bound = h.Name, b
+			}
+			sl.rs.put(Point{T: now, V: v})
+		}
+	}
+	nseries := len(st.series)
+	st.mu.Unlock()
+
+	s.samples.Inc()
+	s.series.Set(int64(nseries))
+}
+
+// bucketLabelsMatch reports whether got is exactly base plus an le
+// label (the le value itself is pinned by the cached bucket bound).
+func bucketLabelsMatch(got, base map[string]string) bool {
+	if len(got) != len(base)+1 {
+		return false
+	}
+	for k, v := range base {
+		if got[k] != v {
+			return false
+		}
+	}
+	_, ok := got["le"]
+	return ok
+}
+
+// withLE copies labels and adds the bucket's le label.
+func withLE(labels map[string]string, le string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	out["le"] = le
+	return out
+}
+
+// formatLE renders a finite bucket bound the way the Prometheus text
+// format does (shortest round-trip representation).
+func formatLE(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

@@ -1,0 +1,255 @@
+// Package telemetry is the continuous-observation layer above
+// internal/metrics: where the registry answers "what are the totals
+// right now", this package answers "what happened over the last
+// minute". A Sampler goroutine periodically snapshots a metrics
+// registry — including full histogram bucket detail — into a Store of
+// fixed-size rings, one per series, and Build derives the operator
+// views from the retained window: windowed rates for counters,
+// p50/p95/p99 from bucket-count deltas, per-domain busy/idle
+// utilization attribution that reuses the critical-path category
+// names, per-link bandwidth occupancy, and per-stream queue-depth
+// watermarks. Histogram exemplars (metrics.Exemplar) ride along so a
+// latency bucket links to the flight-recorder span that landed in it.
+//
+// The store is deliberately dumb and bounded: Put overwrites the
+// oldest point once a series ring is full, so memory is
+// series × slots × 16 bytes no matter how long the process runs, and
+// readers (the /debug/timeline endpoint, hsbench -timeline) never
+// contend with the scheduler hot path — the sampler reads the same
+// lock-free atomics the exposition formats do.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Default store geometry: a one-minute window at four samples per
+// second.
+const (
+	// DefWindow is the default rolling-window length.
+	DefWindow = time.Minute
+	// DefSlots is the default ring capacity per series.
+	DefSlots = 240
+	// DefInterval is the default sampler period (DefWindow/DefSlots).
+	DefInterval = DefWindow / DefSlots
+)
+
+// Point is one sample of one series: a value observed at a time.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// Series is a read-only view of one named, labeled time series with
+// its retained points ordered oldest → newest.
+type Series struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points []Point           `json:"points"`
+}
+
+// Last returns the newest point, or a zero Point when empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// ringSeries is the mutable ring behind one series.
+type ringSeries struct {
+	name   string
+	labels map[string]string
+	ring   []Point
+	head   int // next write slot
+	n      int // valid points, ≤ len(ring)
+}
+
+func (rs *ringSeries) put(p Point) {
+	rs.ring[rs.head] = p
+	rs.head = (rs.head + 1) % len(rs.ring)
+	if rs.n < len(rs.ring) {
+		rs.n++
+	}
+}
+
+// points returns the retained points oldest → newest.
+func (rs *ringSeries) points() []Point {
+	out := make([]Point, 0, rs.n)
+	start := rs.head - rs.n
+	if start < 0 {
+		start += len(rs.ring)
+	}
+	for i := 0; i < rs.n; i++ {
+		out = append(out, rs.ring[(start+i)%len(rs.ring)])
+	}
+	return out
+}
+
+// Store is a rolling time-series store: a fixed-size ring per series,
+// keyed by metric name plus label signature. All methods are safe for
+// concurrent use; writes never block reads for long (one mutex guards
+// the series map and ring cursors, and every operation is O(slots)).
+type Store struct {
+	mu     sync.RWMutex
+	window time.Duration
+	slots  int
+	series map[string]*ringSeries
+}
+
+// NewStore returns a store retaining up to slots points per series,
+// intended to cover the given window (window/slots is the natural
+// sampling resolution). Non-positive arguments use the defaults.
+func NewStore(window time.Duration, slots int) *Store {
+	if window <= 0 {
+		window = DefWindow
+	}
+	if slots <= 0 {
+		slots = DefSlots
+	}
+	return &Store{window: window, slots: slots, series: make(map[string]*ringSeries)}
+}
+
+var defaultStore = NewStore(DefWindow, DefSlots)
+
+// Default returns the process-wide store, the telemetry counterpart of
+// metrics.Default(): the one the CLIs sample into and the debug
+// server's /debug/timeline reads when not handed a private store.
+func Default() *Store { return defaultStore }
+
+// Window returns the window the store is sized for.
+func (st *Store) Window() time.Duration { return st.window }
+
+// Resolution returns the natural sampling period (window / slots).
+func (st *Store) Resolution() time.Duration { return st.window / time.Duration(st.slots) }
+
+// key builds the series map key: name plus sorted label pairs.
+func key(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, k := range keys {
+		sb.WriteByte('\x1f')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+	}
+	return sb.String()
+}
+
+// Put records one point for the (name, labels) series, creating the
+// series ring on first sight and overwriting the oldest point once the
+// ring is full. The labels map is copied on series creation, so
+// callers may reuse it.
+func (st *Store) Put(name string, labels map[string]string, t time.Time, v float64) {
+	st.mu.Lock()
+	st.seriesLocked(name, labels).put(Point{T: t, V: v})
+	st.mu.Unlock()
+}
+
+// seriesLocked returns the ring behind (name, labels), creating it on
+// first sight. The caller must hold st.mu. The sampler keeps the
+// returned handles across ticks so the steady-state path never
+// rebuilds the sorted-label key.
+func (st *Store) seriesLocked(name string, labels map[string]string) *ringSeries {
+	k := key(name, labels)
+	rs, ok := st.series[k]
+	if !ok {
+		var lcp map[string]string
+		if len(labels) > 0 {
+			lcp = make(map[string]string, len(labels))
+			for lk, lv := range labels {
+				lcp[lk] = lv
+			}
+		}
+		rs = &ringSeries{name: name, labels: lcp, ring: make([]Point, st.slots)}
+		st.series[k] = rs
+	}
+	return rs
+}
+
+// Family returns every retained series with the given metric name,
+// sorted by label signature, with points ordered oldest → newest.
+func (st *Store) Family(name string) []Series {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []Series
+	keys := make([]string, 0)
+	for k, rs := range st.series {
+		if rs.name == name {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rs := st.series[k]
+		out = append(out, Series{Name: rs.name, Labels: rs.labels, Points: rs.points()})
+	}
+	return out
+}
+
+// Get returns the series exactly matching (name, labels), or a Series
+// with no points when it was never written.
+func (st *Store) Get(name string, labels map[string]string) Series {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if rs, ok := st.series[key(name, labels)]; ok {
+		return Series{Name: rs.name, Labels: rs.labels, Points: rs.points()}
+	}
+	return Series{Name: name, Labels: labels}
+}
+
+// Names returns the distinct metric names present, sorted.
+func (st *Store) Names() []string {
+	st.mu.RLock()
+	seen := make(map[string]bool)
+	for _, rs := range st.series {
+		seen[rs.name] = true
+	}
+	st.mu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of retained series.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.series)
+}
+
+// Newest returns the latest sample time across all series, and false
+// when the store is empty. Build uses it as "now" so that timelines
+// over synthetically-timed samples (tests, replays) stay
+// deterministic.
+func (st *Store) Newest() (time.Time, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var newest time.Time
+	found := false
+	for _, rs := range st.series {
+		if rs.n == 0 {
+			continue
+		}
+		last := rs.ring[(rs.head-1+len(rs.ring))%len(rs.ring)].T
+		if !found || last.After(newest) {
+			newest = last
+			found = true
+		}
+	}
+	return newest, found
+}

@@ -1,0 +1,573 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hstreams/internal/metrics"
+	"hstreams/internal/trace"
+)
+
+// maxRates bounds the rate table in a Timeline so the text rendering
+// stays readable; Timeline.RatesTruncated reports how many nonzero
+// series were dropped (never silently).
+const maxRates = 24
+
+// RateView is the windowed rate of one counter series.
+type RateView struct {
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	PerSecond float64           `json:"per_second"`
+	Delta     float64           `json:"delta"`
+}
+
+// LatencyView is a windowed latency summary for one histogram series:
+// quantiles interpolated from bucket-count deltas between the window's
+// endpoints, plus the freshest exemplar so an operator can jump from a
+// percentile to the flight-recorder span behind it.
+type LatencyView struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Count is how many observations landed inside the window.
+	Count int64 `json:"count"`
+	// P50, P95 and P99 are interpolated quantiles in seconds.
+	P50 float64 `json:"p50_seconds"`
+	P95 float64 `json:"p95_seconds"`
+	P99 float64 `json:"p99_seconds"`
+	// Exemplar, when non-nil, is the last observation recorded in the
+	// highest-populated bucket of the window — the span to chase when
+	// the tail moves.
+	Exemplar *metrics.Exemplar `json:"exemplar,omitempty"`
+}
+
+// UtilView attributes one domain's window: busy seconds (summed action
+// execution time) against stream-capacity seconds, split by the
+// critical-path category names (trace.CatCompute and friends) so the
+// live view reconciles against `hsbench -critpath`.
+//
+// In Sim mode busy time is virtual-clock seconds while the window span
+// is wall time, so Utilization is only comparable across domains, not
+// against 1.0; in Real mode both are wall time.
+type UtilView struct {
+	Domain string `json:"domain"`
+	// Streams is the number of streams attached to the domain.
+	Streams int `json:"streams"`
+	// BusySeconds is execution time accumulated inside the window.
+	BusySeconds float64 `json:"busy_seconds"`
+	// CapacitySeconds is window span × streams.
+	CapacitySeconds float64 `json:"capacity_seconds"`
+	// Utilization is BusySeconds / CapacitySeconds (0 when no capacity).
+	Utilization float64 `json:"utilization"`
+	// Categories splits BusySeconds by critical-path category name.
+	Categories map[string]float64 `json:"categories"`
+}
+
+// QueueView is one stream's queue-depth summary: the current depth,
+// the high-water mark within the window, and the all-time peak gauge.
+type QueueView struct {
+	Stream    string  `json:"stream"`
+	Depth     float64 `json:"depth"`
+	WindowMax float64 `json:"window_max"`
+	Peak      float64 `json:"peak"`
+}
+
+// LinkView is one fabric link direction's window: achieved bandwidth,
+// transfer count, and occupancy (busy-seconds per wall-second — the
+// fraction of the window the link spent moving bytes, >1 when
+// transfers overlap in Sim accounting).
+type LinkView struct {
+	Src            string  `json:"src"`
+	Dst            string  `json:"dst"`
+	BytesPerSecond float64 `json:"bytes_per_second"`
+	Transfers      float64 `json:"transfers"`
+	Occupancy      float64 `json:"occupancy"`
+}
+
+// Timeline is the derived, bounded view of a Store's window: what the
+// /debug/timeline endpoint serves and `hsbench -timeline` prints. All
+// durations are nanosecond integers so the JSON is lossless.
+type Timeline struct {
+	// GeneratedAt is the newest sample time in the store (the
+	// timeline's "now" — deterministic for synthetically-timed tests).
+	GeneratedAt time.Time `json:"generated_at"`
+	// WindowNanos is the requested window length.
+	WindowNanos int64 `json:"window_nanos"`
+	// SpanNanos is the observed span: newest minus oldest retained
+	// sample inside the window (≤ WindowNanos).
+	SpanNanos int64 `json:"span_nanos"`
+	// Samples is the most points any one series retains in the window.
+	Samples int `json:"samples"`
+	// Rates lists windowed counter rates, largest first.
+	Rates []RateView `json:"rates"`
+	// RatesTruncated counts nonzero rate series dropped past maxRates.
+	RatesTruncated int `json:"rates_truncated,omitempty"`
+	// Latencies lists windowed histogram quantiles with exemplars.
+	Latencies []LatencyView `json:"latencies"`
+	// Utilization lists per-domain busy/idle attribution.
+	Utilization []UtilView `json:"utilization"`
+	// Queues lists per-stream depth watermarks.
+	Queues []QueueView `json:"queues"`
+	// Links lists per-link bandwidth and occupancy.
+	Links []LinkView `json:"links"`
+}
+
+// Build derives a Timeline from the store's retained window. A
+// non-positive window means the store's full window. reg, when
+// non-nil, supplies histogram exemplars (the store holds only scalar
+// points); pass the registry the sampler snapshots.
+func Build(st *Store, reg *metrics.Registry, window time.Duration) *Timeline {
+	if window <= 0 {
+		window = st.Window()
+	}
+	tl := &Timeline{WindowNanos: int64(window)}
+	now, ok := st.Newest()
+	if !ok {
+		return tl
+	}
+	tl.GeneratedAt = now
+	cutoff := now.Add(-window)
+
+	// One consistent snapshot of every series, clipped to the window.
+	// born marks series whose entire history is retained and inside
+	// the window — counters born there started at zero, which is their
+	// windowed-delta baseline (a sampler that attaches after work
+	// begins would otherwise under-report every first-window delta).
+	type snap struct {
+		s    Series
+		pts  []Point
+		born bool
+	}
+	var all []snap
+	oldest := now
+	for _, name := range st.Names() {
+		for _, s := range st.Family(name) {
+			pts := clip(s.Points, cutoff)
+			if len(pts) == 0 {
+				continue
+			}
+			if pts[0].T.Before(oldest) {
+				oldest = pts[0].T
+			}
+			if len(pts) > tl.Samples {
+				tl.Samples = len(pts)
+			}
+			born := len(pts) == len(s.Points) && len(s.Points) < st.slots
+			all = append(all, snap{s: s, pts: pts, born: born})
+		}
+	}
+	span := now.Sub(oldest)
+	tl.SpanNanos = int64(span)
+	spanSec := span.Seconds()
+
+	// windowDelta is the counter increase across the window: baseline
+	// is the newest retained point before the cutoff when one exists,
+	// zero for series born inside the window, else the window's first
+	// point (conservative when the ring overwrote older history). The
+	// returned span is zero when no in-window time elapsed; rate
+	// consumers fall back to the timeline span.
+	windowDelta := func(sn snap) (float64, time.Duration) {
+		if len(sn.pts) == 0 {
+			return 0, 0
+		}
+		last := sn.pts[len(sn.pts)-1]
+		if dropped := len(sn.s.Points) - len(sn.pts); dropped > 0 {
+			base := sn.s.Points[dropped-1]
+			return last.V - base.V, last.T.Sub(base.T)
+		}
+		if sn.born {
+			return last.V, last.T.Sub(sn.pts[0].T)
+		}
+		if len(sn.pts) < 2 {
+			return 0, 0
+		}
+		return last.V - sn.pts[0].V, last.T.Sub(sn.pts[0].T)
+	}
+
+	empty := snap{}
+	get := func(name string, labels map[string]string) snap {
+		for _, sn := range all {
+			if sn.s.Name == name && labelsEqual(sn.s.Labels, labels) {
+				return sn
+			}
+		}
+		return empty
+	}
+
+	// Windowed counter rates.
+	for _, sn := range all {
+		if !strings.HasSuffix(sn.s.Name, "_total") {
+			continue
+		}
+		d, sp := windowDelta(sn)
+		if sp <= 0 {
+			sp = span
+		}
+		if d <= 0 || sp <= 0 {
+			continue
+		}
+		tl.Rates = append(tl.Rates, RateView{
+			Name: sn.s.Name, Labels: sn.s.Labels,
+			PerSecond: d / sp.Seconds(), Delta: d,
+		})
+	}
+	sort.Slice(tl.Rates, func(i, j int) bool {
+		a, b := tl.Rates[i], tl.Rates[j]
+		if a.PerSecond != b.PerSecond {
+			return a.PerSecond > b.PerSecond
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return labelSig(a.Labels) < labelSig(b.Labels)
+	})
+	if len(tl.Rates) > maxRates {
+		tl.RatesTruncated = len(tl.Rates) - maxRates
+		tl.Rates = tl.Rates[:maxRates]
+	}
+
+	// Windowed quantiles from bucket-count deltas. Bucket series are
+	// named "<family>_bucket" with an le label; group them back into
+	// histograms by base-label signature.
+	type group struct {
+		name   string
+		labels map[string]string
+		bounds []float64
+		deltas []float64
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, sn := range all {
+		if !strings.HasSuffix(sn.s.Name, "_bucket") {
+			continue
+		}
+		le, okLE := sn.s.Labels["le"]
+		if !okLE {
+			continue
+		}
+		base := baseLabels(sn.s.Labels)
+		name := strings.TrimSuffix(sn.s.Name, "_bucket")
+		k := name + "\x1f" + labelSig(base)
+		g, okG := groups[k]
+		if !okG {
+			g = &group{name: name, labels: base}
+			groups[k] = g
+			order = append(order, k)
+		}
+		b := math.Inf(1)
+		if le != "+Inf" {
+			if v, err := strconv.ParseFloat(le, 64); err == nil {
+				b = v
+			}
+		}
+		d, _ := windowDelta(sn)
+		g.bounds = append(g.bounds, b)
+		g.deltas = append(g.deltas, d)
+	}
+	var hists []metrics.HistSample
+	if reg != nil {
+		hists = reg.SnapshotHistograms()
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		g := groups[k]
+		sort.Sort(byBound{g.bounds, g.deltas})
+		// Cumulative → total is the +Inf bucket's delta.
+		total := g.deltas[len(g.deltas)-1]
+		if total <= 0 {
+			continue
+		}
+		lv := LatencyView{
+			Name: g.name, Labels: g.labels, Count: int64(total + 0.5),
+			P50: bucketQuantile(0.50, g.bounds, g.deltas),
+			P95: bucketQuantile(0.95, g.bounds, g.deltas),
+			P99: bucketQuantile(0.99, g.bounds, g.deltas),
+		}
+		lv.Exemplar = pickExemplar(hists, g.name, g.labels, g.deltas)
+		tl.Latencies = append(tl.Latencies, lv)
+	}
+
+	// Per-domain utilization attribution.
+	for _, sn := range all {
+		if sn.s.Name != "hstreams_domain_streams" {
+			continue
+		}
+		domain := sn.s.Labels["domain"]
+		streams := sn.pts[len(sn.pts)-1].V
+		uv := UtilView{
+			Domain: domain, Streams: int(streams + 0.5),
+			CapacitySeconds: spanSec * streams,
+			Categories:      map[string]float64{},
+		}
+		for kind, cat := range map[string]string{
+			"compute":  trace.CatCompute,
+			"transfer": trace.CatTransfer,
+			"sync":     trace.CatSync,
+		} {
+			d, _ := windowDelta(get("hstreams_action_duration_seconds_sum", map[string]string{"kind": kind, "domain": domain}))
+			if d > 0 {
+				uv.Categories[cat] = d
+				uv.BusySeconds += d
+			}
+		}
+		if uv.CapacitySeconds > 0 {
+			uv.Utilization = uv.BusySeconds / uv.CapacitySeconds
+		}
+		tl.Utilization = append(tl.Utilization, uv)
+	}
+	sort.Slice(tl.Utilization, func(i, j int) bool { return tl.Utilization[i].Domain < tl.Utilization[j].Domain })
+
+	// Per-stream queue-depth watermarks.
+	for _, sn := range all {
+		if sn.s.Name != "hstreams_queue_depth" {
+			continue
+		}
+		stream := sn.s.Labels["stream"]
+		qv := QueueView{Stream: stream, Depth: sn.pts[len(sn.pts)-1].V}
+		for _, p := range sn.pts {
+			if p.V > qv.WindowMax {
+				qv.WindowMax = p.V
+			}
+		}
+		if pk := get("hstreams_queue_depth_peak", map[string]string{"stream": stream}).pts; len(pk) > 0 {
+			qv.Peak = pk[len(pk)-1].V
+		}
+		tl.Queues = append(tl.Queues, qv)
+	}
+	sort.Slice(tl.Queues, func(i, j int) bool { return tl.Queues[i].Stream < tl.Queues[j].Stream })
+
+	// Per-link bandwidth and occupancy.
+	for _, sn := range all {
+		if sn.s.Name != "hstreams_link_bytes_total" {
+			continue
+		}
+		src, dst := sn.s.Labels["src"], sn.s.Labels["dst"]
+		bd, _ := windowDelta(sn)
+		if bd <= 0 || spanSec <= 0 {
+			continue
+		}
+		lv := LinkView{Src: src, Dst: dst, BytesPerSecond: bd / spanSec}
+		xd, _ := windowDelta(get("hstreams_link_transfers_total", sn.s.Labels))
+		lv.Transfers = xd
+		od, _ := windowDelta(get("hstreams_link_occupancy_seconds_sum", sn.s.Labels))
+		if od > 0 {
+			lv.Occupancy = od / spanSec
+		}
+		tl.Links = append(tl.Links, lv)
+	}
+	sort.Slice(tl.Links, func(i, j int) bool {
+		a, b := tl.Links[i], tl.Links[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+
+	return tl
+}
+
+// clip returns the suffix of ordered points at or after cutoff.
+func clip(pts []Point, cutoff time.Time) []Point {
+	i := sort.Search(len(pts), func(i int) bool { return !pts[i].T.Before(cutoff) })
+	return pts[i:]
+}
+
+// labelsEqual reports whether two label maps hold the same pairs.
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// labelSig renders labels as a sorted, comparable signature.
+func labelSig(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// baseLabels copies labels without the le bucket label.
+func baseLabels(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		out[k] = v
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// byBound sorts parallel bound/delta slices by ascending bound (+Inf
+// last), keeping cumulative bucket order.
+type byBound struct {
+	bounds []float64
+	deltas []float64
+}
+
+func (b byBound) Len() int           { return len(b.bounds) }
+func (b byBound) Less(i, j int) bool { return b.bounds[i] < b.bounds[j] }
+func (b byBound) Swap(i, j int) {
+	b.bounds[i], b.bounds[j] = b.bounds[j], b.bounds[i]
+	b.deltas[i], b.deltas[j] = b.deltas[j], b.deltas[i]
+}
+
+// bucketQuantile interpolates the q-quantile from cumulative bucket
+// deltas the way PromQL's histogram_quantile does: linear within the
+// bucket holding the rank, clamped to the highest finite bound when
+// the rank lands in the +Inf bucket.
+func bucketQuantile(q float64, bounds, cum []float64) float64 {
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return 0
+	}
+	rank := q * total
+	i := sort.Search(len(cum), func(i int) bool { return cum[i] >= rank })
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	if math.IsInf(bounds[i], 1) {
+		if len(bounds) > 1 {
+			return bounds[len(bounds)-2]
+		}
+		return 0
+	}
+	lo, clo := 0.0, 0.0
+	if i > 0 {
+		lo, clo = bounds[i-1], cum[i-1]
+	}
+	if cum[i] == clo {
+		return bounds[i]
+	}
+	return lo + (bounds[i]-lo)*(rank-clo)/(cum[i]-clo)
+}
+
+// pickExemplar returns the registry exemplar from the highest window-
+// populated bucket of the matching histogram, or nil. Exemplars are
+// last-writer-wins per bucket, so the returned span is the freshest
+// observation in the tail bucket — exactly the one to chase after a
+// percentile spike.
+func pickExemplar(hists []metrics.HistSample, name string, labels map[string]string, deltas []float64) *metrics.Exemplar {
+	for _, h := range hists {
+		if h.Name != name || !labelsEqual(h.Labels, labels) {
+			continue
+		}
+		// Window deltas and registry buckets share index order: both
+		// ascend by bound with +Inf last.
+		for i := len(deltas) - 1; i >= 0; i-- {
+			if deltas[i] > 0 && i < len(h.Exemplars) && h.Exemplars[i].SpanID != 0 {
+				e := h.Exemplars[i]
+				return &e
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// Format renders the timeline as the text form served by
+// /debug/timeline?format=text and printed by `hsbench -timeline`.
+func (tl *Timeline) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: window %s, span %s, %d samples\n",
+		time.Duration(tl.WindowNanos), time.Duration(tl.SpanNanos), tl.Samples)
+	if tl.Samples == 0 {
+		sb.WriteString("  (no samples retained — is the sampler running?)\n")
+		return sb.String()
+	}
+	if len(tl.Rates) > 0 {
+		sb.WriteString("rates:\n")
+		for _, r := range tl.Rates {
+			fmt.Fprintf(&sb, "  %-56s %12.1f/s  (+%.0f)\n", seriesLabel(r.Name, r.Labels), r.PerSecond, r.Delta)
+		}
+		if tl.RatesTruncated > 0 {
+			fmt.Fprintf(&sb, "  … %d more nonzero series truncated\n", tl.RatesTruncated)
+		}
+	}
+	if len(tl.Latencies) > 0 {
+		sb.WriteString("latency (windowed):\n")
+		for _, l := range tl.Latencies {
+			fmt.Fprintf(&sb, "  %-56s n=%-6d p50=%s p95=%s p99=%s",
+				seriesLabel(l.Name, l.Labels), l.Count,
+				fmtSec(l.P50), fmtSec(l.P95), fmtSec(l.P99))
+			if l.Exemplar != nil {
+				fmt.Fprintf(&sb, "  exemplar span=%d %s", l.Exemplar.SpanID, fmtSec(l.Exemplar.Value))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if len(tl.Utilization) > 0 {
+		sb.WriteString("utilization:\n")
+		for _, u := range tl.Utilization {
+			fmt.Fprintf(&sb, "  %-10s busy %s / %s (%.1f%%)",
+				u.Domain, fmtSec(u.BusySeconds), fmtSec(u.CapacitySeconds), 100*u.Utilization)
+			for _, cat := range []string{trace.CatCompute, trace.CatTransfer, trace.CatSync} {
+				if v, okC := u.Categories[cat]; okC {
+					fmt.Fprintf(&sb, "  %s=%s", cat, fmtSec(v))
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if len(tl.Queues) > 0 {
+		sb.WriteString("queues:\n")
+		for _, q := range tl.Queues {
+			fmt.Fprintf(&sb, "  %-12s depth %-5.0f window-max %-5.0f peak %.0f\n", q.Stream, q.Depth, q.WindowMax, q.Peak)
+		}
+	}
+	if len(tl.Links) > 0 {
+		sb.WriteString("links:\n")
+		for _, l := range tl.Links {
+			fmt.Fprintf(&sb, "  %s→%-10s %s/s  occupancy %.1f%%  (%.0f xfers)\n",
+				l.Src, l.Dst, fmtBytes(l.BytesPerSecond), 100*l.Occupancy, l.Transfers)
+		}
+	}
+	return sb.String()
+}
+
+// seriesLabel renders name{k=v,…} for the text form.
+func seriesLabel(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + labelSig(labels) + "}"
+}
+
+// fmtSec renders seconds with duration-style units.
+func fmtSec(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	return d.Round(time.Microsecond).String()
+}
+
+// fmtBytes renders a byte quantity with binary-ish SI units.
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2f GB", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2f MB", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.2f kB", b/1e3)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}

@@ -81,6 +81,15 @@ type Span struct {
 	DeadlineHit bool          `json:"deadline_hit,omitempty"`
 	Rerouted    bool          `json:"rerouted,omitempty"`
 
+	// Cost mirrors the platform cost descriptor the action was
+	// enqueued with (kernel id, problem size, bytes, fixed overhead) —
+	// enough for checkpoint/replay to re-enqueue the action with
+	// identical Sim timing. Flops above is the cost's flop count.
+	CostKernel int           `json:"cost_kernel,omitempty"`
+	CostN      int           `json:"cost_n,omitempty"`
+	CostBytes  float64       `json:"cost_bytes,omitempty"`
+	CostExtra  time.Duration `json:"cost_extra,omitempty"`
+
 	Deps []Dep `json:"deps,omitempty"`
 }
 

@@ -60,5 +60,9 @@ probe /debug/trace          '"ph"'
 probe /debug/streams        '"flight"'
 probe /debug/critpath       'critical path'
 probe '/debug/critpath?format=json' '"makespan"'
+probe /debug/timeline       '"window_nanos"'
+probe /debug/timeline       '"utilization"'
+probe '/debug/timeline?format=text' 'timeline:'
+probe '/debug/timeline?window=30s' '"generated_at"'
 
 exit $fail

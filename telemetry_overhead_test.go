@@ -1,0 +1,258 @@
+// Acceptance tests for the continuous-telemetry layer: the sampler +
+// exemplar capture must fit inside the same 5% overhead budget the
+// flight recorder already meets on the tier-1 matmul, and a sampled
+// run must yield a fully-populated timeline.
+package hstreams_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+
+	"hstreams"
+	"hstreams/internal/app"
+	"hstreams/internal/core"
+	"hstreams/internal/matmul"
+	"hstreams/internal/metrics"
+	"hstreams/internal/platform"
+	"hstreams/internal/telemetry"
+)
+
+// telemetryOverheadResult is the BENCH_telemetry_overhead.json
+// document.
+type telemetryOverheadResult struct {
+	Benchmark    string  `json:"benchmark"`
+	TelemSec     float64 `json:"telemetry_sec"`
+	BareSec      float64 `json:"bare_sec"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	Samples      float64 `json:"samples"`
+	RaceDetector bool    `json:"race_detector"`
+}
+
+// telemetryWall runs reps Sim-mode tier-1 matmuls and returns the
+// minimum single-run wall time. The telemetry arm carries the full
+// steady-state observation stack the CLIs ship — flight recorder,
+// exemplar capture (on whenever tracing is), and one sampler at the
+// 100ms interval hsbench uses, feeding a rolling store, started
+// before the first rep and stopped after the last so every timed run
+// executes under continuous sampling; the bare arm runs with causal
+// tracing disabled and no sampler. (Faster sampling is not free on a
+// small host: each snapshot walks every registry series, so on a
+// single-core box a 2ms interval alone eats ~10% of the CPU — the
+// budget holds for the shipped configuration, and
+// telemetry.DefInterval is coarser still.) samples accumulates how many sampler snapshots the
+// telemetry arm took, so the result can prove the sampler actually
+// ran during the timed region.
+func telemetryWall(t *testing.T, telem bool, flight *hstreams.FlightRecorder, reps int, samples *float64) time.Duration {
+	t.Helper()
+	reg := metrics.New()
+	var sam *telemetry.Sampler
+	if telem {
+		sam = telemetry.NewSampler(telemetry.SamplerOptions{
+			Registry: reg,
+			Store:    telemetry.NewStore(time.Minute, 256),
+			Interval: 100 * time.Millisecond,
+		})
+		sam.Start()
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		// Both arms carry the recorder, exactly like matmulWall in
+		// critpath_test.go, so the quotient isolates the observation
+		// stack (causal trace + exemplars + sampler) rather than also
+		// counting the recorder's attachment cost against it.
+		a, err := app.Init(app.Options{
+			Machine:            platform.HSWPlusKNC(2),
+			Mode:               core.ModeSim,
+			StreamsPerCard:     4,
+			HostStreams:        3,
+			Metrics:            reg,
+			Flight:             flight,
+			DisableCausalTrace: !telem,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := matmul.Run(a, matmul.Config{N: 19200, Tile: 2400, UseHost: true, LoadBalance: true}); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		a.Fini()
+	}
+	if sam != nil {
+		sam.Stop()
+		if samples != nil {
+			for _, s := range reg.Snapshot() {
+				if s.Name == "hstreams_telemetry_samples_total" {
+					*samples += s.Value
+				}
+			}
+		}
+	}
+	return best
+}
+
+// telemetryOverheadSample is one interleaved measurement: per arm,
+// each round yields min-of-reps, and the overhead estimate is the
+// median of the per-round telem/bare ratios (see overheadSample in
+// critpath_test.go for why per-round ratios rather than a quotient of
+// per-arm medians: rounds run their two arms back-to-back, so the
+// machine-speed drift this container exhibits cancels inside each
+// ratio). The returned arm times are per-arm medians, for reporting.
+func telemetryOverheadSample(t *testing.T, flight *hstreams.FlightRecorder, samples *float64) (telem, bare, overheadPct float64) {
+	t.Helper()
+	const rounds, reps = 24, 16
+	telemMins := make([]float64, 0, rounds)
+	bareMins := make([]float64, 0, rounds)
+	measure := func(withTelem bool) {
+		runtime.GC()
+		d := telemetryWall(t, withTelem, flight, reps, samples)
+		if withTelem {
+			telemMins = append(telemMins, d.Seconds())
+		} else {
+			bareMins = append(bareMins, d.Seconds())
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		first := i%2 == 0
+		measure(first)
+		measure(!first)
+	}
+	ratios := make([]float64, rounds)
+	for i := range ratios {
+		ratios[i] = telemMins[i] / bareMins[i]
+	}
+	return median(telemMins), median(bareMins), 100 * (median(ratios) - 1)
+}
+
+// TestTelemetryOverheadBudget measures the combined trace + telemetry
+// stack against a bare run on the tier-1 matmul and asserts it stays
+// under the 5% budget. Writes the committed artifact only when
+// TELEM_BENCH_OUT names a file (make bench-telemetry), so a routine
+// `go test ./...` can never clobber the baseline with a noisy sample;
+// a single over-budget sample re-measures once, failing only on two
+// independent over-budget measurements. Skipped under the race
+// detector, whose instrumentation distorts both arms.
+func TestTelemetryOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing benchmark; skipped in -short")
+	}
+	var samples float64
+	flight := hstreams.NewFlightRecorder(1 << 12)
+	// Warm up both arms so first-run allocation noise hits neither.
+	telemetryWall(t, true, flight, 1, nil)
+	telemetryWall(t, false, flight, 1, nil)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	telem, bare, overhead := telemetryOverheadSample(t, flight, &samples)
+	if overhead > 5 && !raceEnabled {
+		t.Logf("overhead %.2f%% over budget; re-measuring once to reject background-load noise", overhead)
+		samples = 0
+		telem, bare, overhead = telemetryOverheadSample(t, flight, &samples)
+	}
+
+	if samples == 0 {
+		t.Fatal("telemetry arm took no sampler snapshots")
+	}
+	res := telemetryOverheadResult{
+		Benchmark:    "matmul Sim N=19200 tile=2400 HSW+2KNC, trace+exemplars+continuous 100ms sampler vs untraced (overhead: median per-round ratio over 24 interleaved rounds of min-of-16 runs; arm times are per-arm medians)",
+		TelemSec:     telem,
+		BareSec:      bare,
+		OverheadPct:  overhead,
+		Samples:      samples,
+		RaceDetector: raceEnabled,
+	}
+	if raceEnabled {
+		t.Skip("race detector on; wall-clock bound not meaningful")
+	}
+	if out := os.Getenv("TELEM_BENCH_OUT"); out != "" {
+		doc, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("telemetry %.6fs, bare %.6fs, overhead %.2f%%, %.0f samples", telem, bare, overhead, samples)
+	if overhead > 5 {
+		t.Fatalf("telemetry overhead %.2f%% exceeds the 5%% budget in two independent measurements (telemetry %.6fs, bare %.6fs)",
+			overhead, telem, bare)
+	}
+}
+
+// TestTimelineSmoke runs one sampled tier-1 matmul and asserts the
+// derived timeline is fully populated: counter rates, latency
+// quantiles carrying flight-recorder exemplars, per-domain
+// utilization with critical-path categories, and link views.
+func TestTimelineSmoke(t *testing.T) {
+	reg := metrics.New()
+	st := telemetry.NewStore(time.Minute, 512)
+	sam := telemetry.NewSampler(telemetry.SamplerOptions{Registry: reg, Store: st, Interval: time.Millisecond})
+	a, err := app.Init(app.Options{
+		Machine:        platform.HSWPlusKNC(2),
+		Mode:           core.ModeSim,
+		StreamsPerCard: 4,
+		HostStreams:    3,
+		Metrics:        reg,
+		Flight:         hstreams.NewFlightRecorder(1 << 14),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sam.Start()
+	if _, err := matmul.Run(a, matmul.Config{N: 9600, Tile: 2400, UseHost: true, LoadBalance: true}); err != nil {
+		t.Fatal(err)
+	}
+	sam.Stop()
+	a.Fini()
+
+	tl := hstreams.BuildTimeline(st, reg, 0)
+	if tl.Samples == 0 {
+		t.Fatal("sampled run retained no telemetry samples")
+	}
+	var sawActions bool
+	for _, r := range tl.Rates {
+		if r.Name == "hstreams_actions_total" {
+			sawActions = true
+		}
+	}
+	if !sawActions {
+		t.Fatalf("no hstreams_actions_total rate in %d rate rows", len(tl.Rates))
+	}
+	var sawExemplar bool
+	for _, l := range tl.Latencies {
+		if l.Exemplar != nil && l.Exemplar.SpanID != 0 {
+			sawExemplar = true
+		}
+	}
+	if !sawExemplar {
+		t.Fatal("no latency view carries a flight-recorder exemplar")
+	}
+	if len(tl.Utilization) < 3 {
+		t.Fatalf("got %d utilization rows, want host + 2 cards", len(tl.Utilization))
+	}
+	for _, u := range tl.Utilization {
+		if u.Streams == 0 {
+			t.Fatalf("domain %s reports zero streams", u.Domain)
+		}
+		if strings.HasPrefix(u.Domain, "KNC") && u.Categories["compute"] == 0 {
+			t.Fatalf("card %s shows no compute busy time: %+v", u.Domain, u)
+		}
+	}
+	if len(tl.Links) == 0 {
+		t.Fatal("no link views despite card transfers")
+	}
+	out := tl.Format()
+	for _, want := range []string{"rates:", "latency (windowed):", "utilization:", "links:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format() missing %q section:\n%s", want, out)
+		}
+	}
+}
