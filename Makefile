@@ -1,13 +1,13 @@
 GO ?= go
 
 .PHONY: all build test race vet fmt golden doclint debug-smoke chaos-smoke \
-	check bench clean bench-sched bench-sched-guard bench-sched-smoke \
-	bench-trace bench-telemetry bench-telemetry-smoke
+	health-smoke check bench clean bench-sched bench-sched-guard \
+	bench-sched-smoke bench-trace bench-telemetry bench-telemetry-smoke
 
 # DOC_PKGS are the packages held to the godoc floor by doclint: the
 # paper-critical stack plus the facade.
 DOC_PKGS = internal/fault internal/fabric internal/coi internal/core \
-	internal/trace internal/metrics internal/telemetry .
+	internal/trace internal/metrics internal/telemetry internal/health .
 
 all: build
 
@@ -54,11 +54,20 @@ debug-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+# health-smoke drives a seeded chaos-profile run under the health
+# engine end-to-end: the breaker-trip and quarantine rules must take
+# /debug/health ok→critical (readiness probe failing), the journal
+# must record the deterministic event skeleton, and the verdict must
+# recover to ok after the runtime finalizes (OPERATIONS.md).
+health-smoke:
+	$(GO) test -run 'TestHealthSmoke$$' -count=1 -v .
+
 # check is the pre-commit gate: build, vet, formatting, the doc lint,
 # the exposition golden, tests under the race detector, a single-shot
 # scheduler throughput smoke (function, not timing — the timing gate
-# is bench-sched-guard), the telemetry smoke, and the chaos smoke.
-check: build vet fmt doclint golden race bench-sched-smoke bench-telemetry-smoke chaos-smoke
+# is bench-sched-guard), the telemetry smoke, the chaos smoke, and the
+# health smoke.
+check: build vet fmt doclint golden race bench-sched-smoke bench-telemetry-smoke chaos-smoke health-smoke
 
 bench:
 	$(GO) run ./cmd/hsbench -fig all

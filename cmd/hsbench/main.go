@@ -34,6 +34,7 @@ import (
 	"hstreams/internal/core"
 	"hstreams/internal/debugserver"
 	"hstreams/internal/fault"
+	"hstreams/internal/health"
 	"hstreams/internal/lu"
 	"hstreams/internal/magma"
 	"hstreams/internal/matmul"
@@ -50,11 +51,12 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8, 9, overhead, ompss, rtm, tuning, lu, all, chaos")
 	metricsFile := flag.String("metrics", "", "write accumulated runtime telemetry to this file in Prometheus text format ('-' for stdout)")
-	debugAddr := flag.String("debug-addr", "", "serve live debug endpoints (/metrics, /debug/pprof, /debug/trace, /debug/streams, /debug/critpath, /debug/timeline) on this address, e.g. 127.0.0.1:6060 (port 0 picks a free port)")
+	debugAddr := flag.String("debug-addr", "", "serve live debug endpoints (/metrics, /debug/pprof, /debug/trace, /debug/streams, /debug/critpath, /debug/timeline, /debug/health, /debug/events) on this address, e.g. 127.0.0.1:6060 (port 0 picks a free port)")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the figures finish (requires -debug-addr)")
 	critpath := flag.Bool("critpath", false, "print the critical-path report of the last schedule after the figures finish")
 	traceFile := flag.String("trace", "", "write the flight recorder's retained spans as Chrome trace JSON to this file (load in Perfetto for dependency arrows)")
 	timeline := flag.Bool("timeline", false, "sample the registry continuously and print the rolling-window telemetry views (rates, quantiles, utilization, queues, links) after the figures finish")
+	healthFlag := flag.Bool("health", false, "run the health engine (stall watchdog, SLO rule pack, event journal) on the sampler cadence and print its report after the figures finish")
 	checkpointFile := flag.String("checkpoint", "", "serialize the last schedule's DAG (spans, dep edges, costs, config) to this versioned file for later -replay")
 	replayFile := flag.String("replay", "", "re-execute a checkpointed DAG in Sim mode, assert it is edge-for-edge identical and deterministic, print its critical path, and exit")
 	flag.Float64Var(&chaosOpts.prob, "faults", 0, "fault-injection probability for transfer and kernel faults in the chaos figure (0 uses its default)")
@@ -70,17 +72,32 @@ func main() {
 		return
 	}
 
+	// The health engine rides the sampler: its journal captures every
+	// runtime's lifecycle events via the process-wide hook, and the
+	// sampler's OnSample drives rule evaluation and the watchdog on the
+	// sampling cadence.
+	var engine *health.Engine
+	if *healthFlag || *debugAddr != "" {
+		engine = health.New(health.Options{})
+		core.SetDefaultEventHook(engine.Journal().CoreEvent)
+	}
+
 	// The sampler feeds the process-wide telemetry store; it runs
-	// whenever something will read it — the -timeline rendering or the
-	// debug server's /debug/timeline endpoint.
+	// whenever something will read it — the -timeline or -health
+	// rendering, or the debug server's /debug/timeline and
+	// /debug/health endpoints.
 	var sampler *telemetry.Sampler
-	if *timeline || *debugAddr != "" {
-		sampler = telemetry.NewSampler(telemetry.SamplerOptions{Interval: 100 * time.Millisecond})
+	if *timeline || *healthFlag || *debugAddr != "" {
+		opts := telemetry.SamplerOptions{Interval: 100 * time.Millisecond}
+		if engine != nil {
+			opts.OnSample = engine.Tick
+		}
+		sampler = telemetry.NewSampler(opts)
 		sampler.Start()
 	}
 
 	if *debugAddr != "" {
-		srv, err := debugserver.Start(*debugAddr, debugserver.Options{})
+		srv, err := debugserver.Start(*debugAddr, debugserver.Options{Health: engine})
 		check(err)
 		defer srv.Close()
 		fmt.Printf("debug server listening on http://%s\n", srv.Addr())
@@ -113,9 +130,15 @@ func main() {
 		f()
 	}
 	telemetrySummary()
-	if *timeline {
+	if sampler != nil {
 		sampler.Stop() // takes the final end-of-run sample
+	}
+	if *timeline {
 		fmt.Print(telemetry.Build(sampler.Store(), metrics.Default(), 0).Format())
+	}
+	if *healthFlag {
+		engine.Tick(time.Now()) // final verdict over the end-of-run window
+		fmt.Print(engine.Report().Format())
 	}
 	if *checkpointFile != "" {
 		check(writeCheckpoint(*checkpointFile))

@@ -14,7 +14,12 @@
 // queues, links) are rendered — the smallest end-to-end demo of the
 // telemetry layer.
 //
-// Usage: hsinfo [-machine HSW+2KNC] [-metrics json|prom] [-timeline]
+// With -health, the probe runs with the health engine riding the
+// sampler and the combined verdict (SLO rules, stall watchdog, event
+// journal) is rendered — the smallest end-to-end demo of the health
+// layer.
+//
+// Usage: hsinfo [-machine HSW+2KNC] [-metrics json|prom] [-timeline] [-health]
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"hstreams/internal/core"
 	"hstreams/internal/debugserver"
+	"hstreams/internal/health"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 	"hstreams/internal/telemetry"
@@ -46,6 +52,7 @@ func main() {
 	name := flag.String("machine", "", "show one machine (default: all)")
 	metricsFmt := flag.String("metrics", "", "after enumeration, probe the machine in Sim mode and dump live telemetry: json or prom")
 	timeline := flag.Bool("timeline", false, "after enumeration, probe the machine in Sim mode under the continuous sampler and render the rolling-window telemetry views")
+	healthFlag := flag.Bool("health", false, "after enumeration, probe the machine in Sim mode with the health engine riding the sampler and render its verdict")
 	debugAddr := flag.String("debug-addr", "", "serve live debug endpoints on this address while hsinfo runs (port 0 picks a free port)")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long before exiting (requires -debug-addr)")
 	flag.Parse()
@@ -99,6 +106,51 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *healthFlag {
+		if err := dumpHealth(ms[probeMachine]); err != nil {
+			fmt.Fprintf(os.Stderr, "hsinfo: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpHealth runs the probe workload with the full health stack over
+// private instances — registry, store, journal, engine — so the
+// rendered verdict is exactly the probe's: the health counterpart of
+// dumpTimeline.
+func dumpHealth(m *platform.Machine) error {
+	reg := metrics.New()
+	store := telemetry.NewStore(telemetry.DefWindow, telemetry.DefSlots)
+	journal := health.NewJournal(health.DefJournalCap, reg)
+	var rts []*core.Runtime
+	engine := health.New(health.Options{
+		Store:    store,
+		Registry: reg,
+		Journal:  journal,
+		Runtimes: func() []*core.Runtime { return rts },
+	})
+	sampler := telemetry.NewSampler(telemetry.SamplerOptions{
+		Registry: reg,
+		Store:    store,
+		Interval: 2 * time.Millisecond,
+		OnSample: engine.Tick,
+	})
+	rt, err := core.Init(core.Config{Machine: m, Mode: core.ModeSim, Metrics: reg, OnEvent: journal.CoreEvent})
+	if err != nil {
+		return err
+	}
+	rts = append(rts, rt)
+	sampler.Start()
+	perr := probe(rt)
+	rt.Fini()
+	sampler.Stop()
+	if perr != nil {
+		return perr
+	}
+	engine.Tick(time.Now())
+	fmt.Printf("health verdict after Sim probe of %s:\n", m)
+	fmt.Print(engine.Report().Format())
+	return nil
 }
 
 // dumpTimeline runs the probe workload under a private registry and a

@@ -32,6 +32,7 @@ import (
 	"hstreams/internal/app"
 	"hstreams/internal/core"
 	"hstreams/internal/fault"
+	"hstreams/internal/health"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
 	"hstreams/internal/telemetry"
@@ -221,6 +222,73 @@ func NewTelemetrySampler(opt TelemetrySamplerOptions) *TelemetrySampler {
 func BuildTimeline(st *TelemetryStore, reg *MetricsRegistry, window time.Duration) *Timeline {
 	return telemetry.Build(st, reg, window)
 }
+
+// Health-engine types (internal/health). A HealthEngine interprets
+// the observability signals into a machine-readable verdict: an SLO
+// rule engine over the telemetry store, a stall watchdog over stream
+// progress counters, and a lock-free journal of runtime lifecycle
+// events with monotonic sequence numbers correlated to flight-recorder
+// span ids. The /debug/health and /debug/events endpoints serve it;
+// `hsbench -health` prints it.
+type (
+	// HealthEngine evaluates rules and the watchdog on every Tick.
+	HealthEngine = health.Engine
+	// HealthOptions configures NewHealthEngine.
+	HealthOptions = health.Options
+	// HealthRule is one declarative SLO rule.
+	HealthRule = health.Rule
+	// HealthVerdict is one rule's evaluation result.
+	HealthVerdict = health.Verdict
+	// HealthReport is the engine's combined verdict.
+	HealthReport = health.Report
+	// HealthSeverity is a verdict level (HealthOK/Warn/Critical).
+	HealthSeverity = health.Severity
+	// HealthStall is one stream the watchdog considers stalled.
+	HealthStall = health.Stall
+	// HealthEvent is one structured journal entry.
+	HealthEvent = health.Event
+	// HealthEventJournal is the lock-free ring of lifecycle events.
+	HealthEventJournal = health.Journal
+	// RuntimeEvent is a lifecycle event emitted by a runtime's
+	// resilience paths (Config.OnEvent / SetDefaultRuntimeEventHook).
+	RuntimeEvent = core.RuntimeEvent
+)
+
+// Health verdict levels.
+const (
+	// HealthOK means within SLO.
+	HealthOK = health.SevOK
+	// HealthWarn means degraded but serving.
+	HealthWarn = health.SevWarn
+	// HealthCritical means the SLO is violated; readiness fails.
+	HealthCritical = health.SevCritical
+)
+
+// NewHealthEngine builds a health engine (zero Options wires the
+// process-wide defaults). Hang engine.Tick off a telemetry sampler
+// (TelemetrySamplerOptions.OnSample) to evaluate on the sampling
+// cadence.
+func NewHealthEngine(opt HealthOptions) *HealthEngine { return health.New(opt) }
+
+// DefaultHealthRules returns the shipped SLO rule pack — the rules the
+// OPERATIONS.md alert tables document.
+func DefaultHealthRules() []HealthRule { return health.DefaultRules() }
+
+// NewEventJournal builds a private lifecycle-event journal holding the
+// last capacity events (<= 0 uses the default), counting into reg
+// (nil: detached counting).
+func NewEventJournal(capacity int, reg *MetricsRegistry) *HealthEventJournal {
+	return health.NewJournal(capacity, reg)
+}
+
+// DefaultEventJournal returns the process-wide journal the debug
+// server's /debug/events endpoint serves.
+func DefaultEventJournal() *HealthEventJournal { return health.DefaultJournal() }
+
+// SetDefaultRuntimeEventHook installs the process-wide lifecycle-event
+// hook used by runtimes whose Config.OnEvent is nil — typically a
+// journal's CoreEvent method. Pass nil to clear.
+func SetDefaultRuntimeEventHook(fn func(RuntimeEvent)) { core.SetDefaultEventHook(fn) }
 
 // Checkpoint/replay types (internal/core). A Checkpoint serializes a
 // completed run's action DAG — streams, actions, dependence edges,

@@ -64,6 +64,9 @@ type Options struct {
 	// Breaker configures per-domain quarantine (see
 	// core.Config.Breaker).
 	Breaker core.BreakerPolicy
+	// OnEvent receives runtime lifecycle events (see
+	// core.Config.OnEvent); nil falls back to the process-wide hook.
+	OnEvent func(core.RuntimeEvent)
 }
 
 // App wraps a runtime with per-domain stream sets.
@@ -92,6 +95,7 @@ func Init(opt Options) (*App, error) {
 		Retry:              opt.Retry,
 		Deadline:           opt.Deadline,
 		Breaker:            opt.Breaker,
+		OnEvent:            opt.OnEvent,
 	})
 	if err != nil {
 		return nil, err

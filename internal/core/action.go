@@ -138,6 +138,11 @@ type resNote struct {
 	retryWait   time.Duration
 	deadlineHit bool
 	rerouted    bool
+	// exhausted marks an action that failed after consuming its full
+	// retry budget; finish turns it into an EvRetriesExhausted
+	// lifecycle event (events.go) so journal emission stays off the
+	// attempt path.
+	exhausted bool
 }
 
 // resNote returns the action's resilience report, allocating it on
@@ -406,6 +411,7 @@ func (rt *Runtime) finish(a *Action, err error) {
 	rt.outstanding.Add(-1)
 	s.ndepth.Add(-1)
 	s.met.depth.Add(-1)
+	s.met.retired.Inc()
 
 	sim := rt.cfg.Mode == ModeSim
 	var ready []*Action
@@ -474,6 +480,7 @@ func (rt *Runtime) finish(a *Action, err error) {
 			sp.RetryWait = r.retryWait
 			sp.DeadlineHit = r.deadlineHit
 			sp.Rerouted = r.rerouted
+			rt.emitResEvents(a, r, err)
 		}
 		// Host-as-target transfers alias instances and move nothing,
 		// so only card-domain transfers name a link direction.
@@ -487,6 +494,12 @@ func (rt *Runtime) finish(a *Action, err error) {
 			}
 		}
 		rt.flight.Record(sp)
+	} else if r := a.res; r != nil {
+		// Tracing disabled: lifecycle events still flow. Either branch
+		// tests a.res exactly once, keeping the fault-free finish at a
+		// single nil check (the lazily-allocated resNote contract the
+		// telemetry overhead budget counts on).
+		rt.emitResEvents(a, r, err)
 	}
 	a.fin.Store(true)
 	if p := a.doneCh.Load(); p != nil {

@@ -223,6 +223,11 @@ func (re *realExec) runCard(a *Action, dr *domainRes) error {
 			return &needReroute{cause: err}
 		}
 		if attempt >= rp.Max {
+			if rp.Max > 0 {
+				// Budget consumed (not merely absent): mark the note so
+				// finish emits EvRetriesExhausted off the attempt path.
+				a.resNote().exhausted = true
+			}
 			return err
 		}
 		wait := rp.wait(a.id, attempt)
@@ -379,6 +384,17 @@ func (re *realExec) now() time.Duration { return time.Since(re.epoch) }
 func (re *realExec) fini() {
 	for _, p := range re.pools {
 		p.close()
+	}
+	// Quarantine is one-way for the runtime's lifetime (re-admission is
+	// re-Init, per OPERATIONS.md), so teardown is where degraded state
+	// formally ends: return the gauges the health rules watch to 0 and
+	// journal the clear, letting a /debug/health verdict recover after
+	// the run instead of pinning critical forever.
+	for _, dr := range re.res.dom {
+		if dr.quarantined.Load() {
+			dr.quarGauge.Set(0)
+			dr.emit(RuntimeEvent{Kind: EvQuarantineCleared, Domain: dr.name})
+		}
 	}
 }
 

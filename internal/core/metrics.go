@@ -42,6 +42,7 @@ type coreMetrics struct {
 	sched         *metrics.HistogramVec // kind, domain: ready→launch (scheduler/resource latency)
 	depth         *metrics.GaugeVec     // stream: current incomplete-action window
 	depthPeak     *metrics.GaugeVec     // stream: high-water mark of the window
+	retired       *metrics.CounterVec   // stream: completed actions — the watchdog's progress signal
 	linkBytes     *metrics.CounterVec   // src, dst: payload bytes per link direction
 	linkXfers     *metrics.CounterVec   // src, dst: transfers per link direction
 	retries       *metrics.CounterVec   // domain: transient-failure re-attempts
@@ -64,6 +65,7 @@ func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
 		sched:         reg.HistogramVec("hstreams_sched_latency_seconds", "Time from dependence resolution to execution start (resource contention).", nil, "kind", "domain"),
 		depth:         reg.GaugeVec("hstreams_queue_depth", "Enqueued-but-incomplete actions per stream.", "stream"),
 		depthPeak:     reg.GaugeVec("hstreams_queue_depth_peak", "High-water mark of hstreams_queue_depth per stream.", "stream"),
+		retired:       reg.CounterVec("hstreams_stream_retired_total", "Actions retired (completed) per stream; the stall watchdog's progress signal.", "stream"),
 		linkBytes:     reg.CounterVec("hstreams_link_bytes_total", "Payload bytes moved per link direction.", "src", "dst"),
 		linkXfers:     reg.CounterVec("hstreams_link_transfers_total", "Transfers per link direction.", "src", "dst"),
 		retries:       reg.CounterVec("hstreams_retries_total", "Re-attempts of transiently failing card actions, by domain.", "domain"),
@@ -81,12 +83,14 @@ type streamMetrics struct {
 	enq, done         [mkCount]*metrics.Counter
 	dur, stall, sched [mkCount]*metrics.Histogram
 	depth, depthPeak  *metrics.Gauge
+	retired           *metrics.Counter
 }
 
 func (cm *coreMetrics) forStream(name, domain string) *streamMetrics {
 	sm := &streamMetrics{
 		depth:     cm.depth.With(name),
 		depthPeak: cm.depthPeak.With(name),
+		retired:   cm.retired.With(name),
 	}
 	for k := 0; k < mkCount; k++ {
 		kind := metricKindNames[k]

@@ -158,6 +158,11 @@ type domainRes struct {
 	rerouted  *metrics.Counter
 	trips     *metrics.Counter
 	quarGauge *metrics.Gauge
+
+	// emit delivers domain-level lifecycle events (trip, flush, clear)
+	// to the runtime's event hook; bound once at newResState so the
+	// breaker never reaches back through the runtime on a failure path.
+	emit func(RuntimeEvent)
 }
 
 // newResState builds the resilience state for a Real-mode runtime.
@@ -179,6 +184,7 @@ func newResState(rt *Runtime) *resState {
 			rerouted:  rt.mets.rerouted.With(name),
 			trips:     rt.mets.breakerTrip.With(name),
 			quarGauge: rt.mets.quarantined.With(name),
+			emit:      rt.emitEvent,
 		}
 	}
 	return rs
@@ -236,6 +242,7 @@ func (dr *domainRes) fail() {
 		if !dr.quarantined.Swap(true) {
 			dr.trips.Inc()
 			dr.quarGauge.Set(1)
+			dr.emit(RuntimeEvent{Kind: EvBreakerTrip, Domain: dr.name})
 		}
 	}
 }
@@ -251,6 +258,11 @@ func (dr *domainRes) awaitFlush(re *realExec) error {
 			time.Sleep(20 * time.Microsecond)
 		}
 		dr.flushErr = dr.flush(re)
+		ev := RuntimeEvent{Kind: EvQuarantineFlush, Domain: dr.name}
+		if dr.flushErr != nil {
+			ev.Err = dr.flushErr.Error()
+		}
+		dr.emit(ev)
 	})
 	return dr.flushErr
 }

@@ -119,6 +119,15 @@ type Config struct {
 	// quarantined and its work re-routed to the host (resilience.go).
 	// The zero value disables the breaker.
 	Breaker BreakerPolicy
+	// OnEvent, when non-nil, receives runtime lifecycle events
+	// (breaker trips, quarantine flushes, retries-exhausted, deadline
+	// hits — see RuntimeEvent) synchronously on the goroutine where
+	// the transition happened; it must be safe for concurrent calls.
+	// Nil falls back to the process-wide hook installed with
+	// SetDefaultEventHook (the CLIs point that at the health journal);
+	// with neither set, events are dropped. Only failure paths emit,
+	// so the fault-free hot path never pays for the hook.
+	OnEvent func(RuntimeEvent)
 }
 
 // Kernel is a sink-side compute entry point. Operand slices arrive in

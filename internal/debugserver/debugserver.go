@@ -2,7 +2,9 @@
 // HTTP server (hsbench/hsinfo -debug-addr) exposing the process's
 // telemetry while runs are in flight — Prometheus metrics, Go pprof
 // profiles, the causal-span flight recorder as a Chrome trace, stream
-// queue snapshots, and the critical-path analysis of the latest run.
+// queue snapshots, the critical-path analysis of the latest run, and
+// the health engine's verdict and event journal (/debug/health,
+// /debug/events) with liveness/readiness probe semantics.
 //
 // Everything served here is read-only and safe to hit while the
 // runtime works: the metrics registry and flight recorder are
@@ -16,10 +18,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"hstreams/internal/core"
 	"hstreams/internal/fabric"
+	"hstreams/internal/health"
 	"hstreams/internal/metrics"
 	"hstreams/internal/telemetry"
 	"hstreams/internal/trace"
@@ -39,18 +43,16 @@ type Options struct {
 	// Telemetry serves /debug/timeline. Nil uses telemetry.Default()
 	// (the store the CLIs' sampler feeds).
 	Telemetry *telemetry.Store
+	// Health serves /debug/health and /debug/events. Nil builds a
+	// default engine over the resolved Telemetry/Registry/Runtimes
+	// with the default rule pack and the process-wide journal.
+	Health *health.Engine
 }
 
-// Server is a running debug server.
-type Server struct {
-	ln  net.Listener
-	srv *http.Server
-}
-
-// Start binds addr (e.g. "127.0.0.1:6060"; port 0 picks a free port)
-// and serves the debug endpoints in a background goroutine until
-// Close.
-func Start(addr string, opt Options) (*Server, error) {
+// fill resolves every nil Options field to its process-wide default.
+// Health is resolved last so a defaulted engine watches the same
+// store, registry and runtimes the other endpoints serve.
+func (opt *Options) fill() {
 	if opt.Registry == nil {
 		opt.Registry = metrics.Default()
 	}
@@ -63,6 +65,26 @@ func Start(addr string, opt Options) (*Server, error) {
 	if opt.Telemetry == nil {
 		opt.Telemetry = telemetry.Default()
 	}
+	if opt.Health == nil {
+		opt.Health = health.New(health.Options{
+			Store:    opt.Telemetry,
+			Registry: opt.Registry,
+			Runtimes: opt.Runtimes,
+		})
+	}
+}
+
+// Server is a running debug server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds addr (e.g. "127.0.0.1:6060"; port 0 picks a free port)
+// and serves the debug endpoints in a background goroutine until
+// Close.
+func Start(addr string, opt Options) (*Server, error) {
+	opt.fill()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -80,18 +102,7 @@ func (s *Server) Close() error { return s.srv.Close() }
 
 // Handler returns the debug mux without binding a listener (tests).
 func Handler(opt Options) http.Handler {
-	if opt.Registry == nil {
-		opt.Registry = metrics.Default()
-	}
-	if opt.Flight == nil {
-		opt.Flight = trace.DefaultFlight()
-	}
-	if opt.Runtimes == nil {
-		opt.Runtimes = core.LiveRuntimes
-	}
-	if opt.Telemetry == nil {
-		opt.Telemetry = telemetry.Default()
-	}
+	opt.fill()
 	return newMux(opt)
 }
 
@@ -108,6 +119,8 @@ func newMux(opt Options) *http.ServeMux {
 	mux.HandleFunc("/debug/streams", streamsHandler(opt.Runtimes, opt.Flight))
 	mux.HandleFunc("/debug/critpath", critpathHandler(opt.Flight))
 	mux.HandleFunc("/debug/timeline", timelineHandler(opt.Telemetry, opt.Registry))
+	mux.HandleFunc("/debug/health", healthHandler(opt.Health))
+	mux.HandleFunc("/debug/events", eventsHandler(opt.Health.Journal()))
 	return mux
 }
 
@@ -128,7 +141,13 @@ func indexHandler(w http.ResponseWriter, r *http.Request) {
                         (?format=json for the full report, ?run=N to pick a run)
   /debug/timeline       rolling-window telemetry: rates, quantiles, utilization,
                         queues, links (JSON; ?format=text to render,
-                        ?window=10s to narrow the window)
+                        ?window=10s to narrow the window,
+                        ?step=1s to thin the sample series)
+  /debug/health         health engine verdict: SLO rules, stalled streams,
+                        recent events (JSON; ?format=text to render;
+                        ?probe=live|ready for 200/503 probe semantics)
+  /debug/events         structured event journal (JSON; ?format=text to
+                        render, ?n=50 to limit)
 `)
 }
 
@@ -227,8 +246,13 @@ func critpathHandler(f *trace.FlightRecorder) http.HandlerFunc {
 
 // timelineHandler serves the rolling-window telemetry views derived
 // from the process's sampler store: JSON by default, the text
-// rendering with ?format=text, and an optional ?window=<duration> to
-// narrow the derivation window below the store's full retention.
+// rendering with ?format=text, an optional ?window=<duration> to
+// narrow the derivation window below the store's full retention
+// (wider windows clamp to the retention — asking for more history
+// than the ring holds is not an error), and an optional
+// ?step=<duration> to thin the returned sample series (clamped
+// between the sampler resolution and the effective window; deltas
+// and quantiles stay full-resolution either way).
 func timelineHandler(st *telemetry.Store, reg *metrics.Registry) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		window := time.Duration(0)
@@ -240,7 +264,25 @@ func timelineHandler(st *telemetry.Store, reg *metrics.Registry) http.HandlerFun
 			}
 			window = d
 		}
-		tl := telemetry.Build(st, reg, window)
+		if max := st.Window(); window <= 0 || window > max {
+			window = max
+		}
+		step := time.Duration(0)
+		if q := r.URL.Query().Get("step"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d <= 0 {
+				http.Error(w, fmt.Sprintf("bad step %q", q), http.StatusBadRequest)
+				return
+			}
+			step = d
+			if res := st.Resolution(); step < res {
+				step = res
+			}
+			if step > window {
+				step = window
+			}
+		}
+		tl := telemetry.BuildStep(st, reg, window, step)
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprint(w, tl.Format())
@@ -250,5 +292,87 @@ func timelineHandler(st *telemetry.Store, reg *metrics.Registry) http.HandlerFun
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(tl)
+	}
+}
+
+// healthHandler serves the health engine's combined verdict: JSON by
+// default, ?format=text for the rendered report, and
+// ?probe=live|ready for Kubernetes-style probe semantics (200 when
+// the probe passes, 503 when it fails). Each request re-ticks the
+// engine only when the last tick is stale, so a process whose sampler
+// drives the cadence does not evaluate twice.
+func healthHandler(e *health.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		e.TickIfStale(now)
+		rep := e.ReportAt(now)
+		if probe := r.URL.Query().Get("probe"); probe != "" {
+			var pass bool
+			switch probe {
+			case "live":
+				pass = rep.Live
+			case "ready":
+				pass = rep.Ready
+			default:
+				http.Error(w, fmt.Sprintf("bad probe %q (want live or ready)", probe), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if !pass {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			fmt.Fprintf(w, "%s=%v severity=%s\n", probe, pass, rep.Severity)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, rep.Format())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	}
+}
+
+// eventsPayload is the /debug/events response document.
+type eventsPayload struct {
+	Cap     int            `json:"cap"`
+	Total   uint64         `json:"total"`
+	Dropped uint64         `json:"dropped"`
+	Events  []health.Event `json:"events"`
+}
+
+// eventsHandler serves the structured event journal: JSON by default,
+// ?format=text for one line per event, ?n=50 to limit to the newest
+// n retained events.
+func eventsHandler(j *health.Journal) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		events := j.Snapshot()
+		if q := r.URL.Query().Get("n"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 {
+				http.Error(w, fmt.Sprintf("bad n %q", q), http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "events: %d retained of %d recorded (%d dropped, cap %d)\n",
+				len(events), j.Total(), j.Dropped(), j.Cap())
+			for _, ev := range events {
+				fmt.Fprintln(w, ev.Format())
+			}
+			return
+		}
+		doc := eventsPayload{Cap: j.Cap(), Total: j.Total(), Dropped: j.Dropped(), Events: events}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
 	}
 }

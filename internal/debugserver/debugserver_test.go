@@ -7,10 +7,13 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"hstreams/internal/core"
+	"hstreams/internal/health"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
+	"hstreams/internal/telemetry"
 	"hstreams/internal/trace"
 )
 
@@ -222,5 +225,167 @@ func TestStatusWhileRunning(t *testing.T) {
 	<-done
 	if err := rt.Err(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// getStatus fetches a path and returns the status code and body
+// without asserting 200.
+func getStatus(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestTimelineParams covers the /debug/timeline parameter contract:
+// malformed or non-positive window/step values are rejected with 400,
+// an oversized window clamps to the store retention, and a valid step
+// thins the sample series while reporting itself in step_nanos.
+func TestTimelineParams(t *testing.T) {
+	reg := metrics.New()
+	st := telemetry.NewStore(time.Minute, 60) // 1s resolution
+	now := time.Now()
+	for i := 0; i < 30; i++ {
+		st.Put("c_total", nil, now.Add(time.Duration(i-30)*time.Second), float64(i))
+	}
+	srv := httptest.NewServer(Handler(Options{Registry: reg, Telemetry: st}))
+	defer srv.Close()
+
+	for _, bad := range []string{
+		"/debug/timeline?window=abc",
+		"/debug/timeline?window=-1s",
+		"/debug/timeline?window=0s",
+		"/debug/timeline?step=abc",
+		"/debug/timeline?step=-1ms",
+		"/debug/timeline?step=0s",
+	} {
+		if code, body := getStatus(t, srv, bad); code != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400\n%s", bad, code, body)
+		}
+	}
+
+	var tl struct {
+		WindowNanos int64 `json:"window_nanos"`
+		StepNanos   int64 `json:"step_nanos"`
+		Samples     int   `json:"samples"`
+	}
+	// An oversized window clamps to the store's retention.
+	if err := json.Unmarshal([]byte(get(t, srv, "/debug/timeline?window=5m")), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.WindowNanos != int64(time.Minute) {
+		t.Fatalf("window=5m reported %d ns, want clamp to %d", tl.WindowNanos, int64(time.Minute))
+	}
+	full := tl.Samples
+	// A valid step reports itself and thins the displayed samples; a
+	// step below the sampler resolution clamps up to it.
+	if err := json.Unmarshal([]byte(get(t, srv, "/debug/timeline?window=30s&step=10s")), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.StepNanos != int64(10*time.Second) {
+		t.Fatalf("step_nanos = %d, want %d", tl.StepNanos, int64(10*time.Second))
+	}
+	if tl.Samples >= full {
+		t.Fatalf("step did not thin samples: %d vs full %d", tl.Samples, full)
+	}
+	if err := json.Unmarshal([]byte(get(t, srv, "/debug/timeline?step=1ms")), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.StepNanos != int64(time.Second) {
+		t.Fatalf("sub-resolution step reported %d ns, want clamp to resolution %d", tl.StepNanos, int64(time.Second))
+	}
+}
+
+// TestHealthEndpoints covers /debug/health (JSON verdict, probe
+// semantics, text rendering) and /debug/events (limit + validation)
+// over a private engine, including the 503 readiness flip when a rule
+// goes critical.
+func TestHealthEndpoints(t *testing.T) {
+	reg := metrics.New()
+	st := telemetry.NewStore(time.Minute, 60)
+	journal := health.NewJournal(64, reg)
+	engine := health.New(health.Options{
+		Store:    st,
+		Registry: reg,
+		Journal:  journal,
+		Runtimes: func() []*core.Runtime { return nil },
+		// Each request's TickIfStale must re-evaluate, so the verdict
+		// tracks the store edits below without a sampler running.
+		MaxStale: time.Nanosecond,
+	})
+	srv := httptest.NewServer(Handler(Options{Registry: reg, Telemetry: st, Health: engine}))
+	defer srv.Close()
+
+	var rep struct {
+		Severity string `json:"severity"`
+		Live     bool   `json:"live"`
+		Ready    bool   `json:"ready"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv, "/debug/health")), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity != "ok" || !rep.Live || !rep.Ready {
+		t.Fatalf("idle verdict = %+v, want ok/live/ready", rep)
+	}
+	if code, body := getStatus(t, srv, "/debug/health?probe=live"); code != http.StatusOK || !strings.Contains(body, "live=true") {
+		t.Fatalf("probe=live: %d %q", code, body)
+	}
+	if code, _ := getStatus(t, srv, "/debug/health?probe=ready"); code != http.StatusOK {
+		t.Fatalf("probe=ready while ok: %d, want 200", code)
+	}
+	if code, _ := getStatus(t, srv, "/debug/health?probe=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("probe=bogus: %d, want 400", code)
+	}
+	if body := get(t, srv, "/debug/health?format=text"); !strings.Contains(body, "health:") {
+		t.Fatalf("text report missing header:\n%s", body)
+	}
+
+	// A quarantined-domain gauge in the store flips the default rule
+	// pack critical; the readiness probe must fail while liveness
+	// holds.
+	st.Put("hstreams_domain_quarantined", map[string]string{"domain": "KNC0"}, time.Now(), 1)
+	if code, body := getStatus(t, srv, "/debug/health?probe=ready"); code != http.StatusServiceUnavailable || !strings.Contains(body, "severity=critical") {
+		t.Fatalf("probe=ready at critical: %d %q, want 503", code, body)
+	}
+	if code, _ := getStatus(t, srv, "/debug/health?probe=live"); code != http.StatusOK {
+		t.Fatalf("probe=live at critical: %d, want 200", code)
+	}
+
+	// /debug/events: the rule transition just journaled is served,
+	// ?n limits to the newest entries, bad limits are rejected.
+	var events struct {
+		Total  uint64         `json:"total"`
+		Events []health.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv, "/debug/events")), &events); err != nil {
+		t.Fatal(err)
+	}
+	if events.Total == 0 || len(events.Events) == 0 {
+		t.Fatalf("no journaled events after a rule transition: %+v", events)
+	}
+	if events.Events[len(events.Events)-1].Kind != health.KindRuleTransition {
+		t.Fatalf("newest event = %+v, want rule-transition", events.Events[len(events.Events)-1])
+	}
+	journal.Record(health.Event{Kind: health.KindWatchdogStall, Stream: "HSW.s0"})
+	if err := json.Unmarshal([]byte(get(t, srv, "/debug/events?n=1")), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events.Events) != 1 || events.Events[0].Kind != health.KindWatchdogStall {
+		t.Fatalf("?n=1 = %+v, want just the newest watchdog-stall", events.Events)
+	}
+	for _, bad := range []string{"/debug/events?n=abc", "/debug/events?n=0", "/debug/events?n=-3"} {
+		if code, body := getStatus(t, srv, bad); code != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400\n%s", bad, code, body)
+		}
+	}
+	if body := get(t, srv, "/debug/events?format=text"); !strings.Contains(body, "events:") || !strings.Contains(body, "watchdog-stall") {
+		t.Fatalf("text events missing content:\n%s", body)
 	}
 }

@@ -20,6 +20,13 @@ type SamplerOptions struct {
 	Store *Store
 	// Interval is the sampling period. Non-positive means DefInterval.
 	Interval time.Duration
+	// OnSample, when non-nil, runs synchronously on the sampling
+	// goroutine at the end of every snapshot, after the store holds the
+	// tick's points. The health engine hangs its rule-evaluation +
+	// watchdog tick here so verdicts ride the sampler cadence instead
+	// of needing their own timer. It must not call back into the
+	// sampler.
+	OnSample func(now time.Time)
 }
 
 // Sampler periodically snapshots a metrics registry into a Store. It
@@ -36,8 +43,9 @@ type Sampler struct {
 	store    *Store
 	interval time.Duration
 
-	samples *metrics.Counter
-	series  *metrics.Gauge
+	samples  *metrics.Counter
+	series   *metrics.Gauge
+	onSample func(time.Time)
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -87,6 +95,7 @@ func NewSampler(opts SamplerOptions) *Sampler {
 		interval: iv,
 		samples:  reg.Counter("hstreams_telemetry_samples_total", "Snapshots taken by the telemetry sampler."),
 		series:   reg.Gauge("hstreams_telemetry_series", "Time series retained in the telemetry store."),
+		onSample: opts.OnSample,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -183,11 +192,18 @@ func (s *Sampler) SampleOnce(now time.Time) {
 			sl.rs.put(Point{T: now, V: v})
 		}
 	}
+	if (len(samples) > 0 || nb > 0) && (!st.hasNewest || now.After(st.newest)) {
+		st.newest = now
+		st.hasNewest = true
+	}
 	nseries := len(st.series)
 	st.mu.Unlock()
 
 	s.samples.Inc()
 	s.series.Set(int64(nseries))
+	if s.onSample != nil {
+		s.onSample(now)
+	}
 }
 
 // bucketLabelsMatch reports whether got is exactly base plus an le

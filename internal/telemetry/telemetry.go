@@ -20,7 +20,9 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -62,10 +64,21 @@ func (s *Series) Last() Point {
 // ringSeries is the mutable ring behind one series.
 type ringSeries struct {
 	name   string
+	key    string // map key: name + sorted label signature
 	labels map[string]string
 	ring   []Point
 	head   int // next write slot
 	n      int // valid points, ≤ len(ring)
+
+	// Histogram-bucket metadata, precomputed at creation for series
+	// named "<family>_bucket" carrying an le label, so the windowed
+	// quantile path never rebuilds base-label maps or re-parses
+	// bounds on the query hot path (the health engine runs a
+	// quantile rule every sampler tick).
+	bucket  bool
+	bound   float64           // parsed le bound (+Inf for "+Inf")
+	base    map[string]string // labels without le
+	baseSig string            // sorted signature of base
 }
 
 func (rs *ringSeries) put(p Point) {
@@ -74,6 +87,42 @@ func (rs *ringSeries) put(p Point) {
 	if rs.n < len(rs.ring) {
 		rs.n++
 	}
+}
+
+// at returns the i-th retained point (0 = oldest). The caller must
+// hold the store lock and keep i < rs.n.
+func (rs *ringSeries) at(i int) Point {
+	start := rs.head - rs.n
+	if start < 0 {
+		start += len(rs.ring)
+	}
+	return rs.ring[(start+i)%len(rs.ring)]
+}
+
+// windowDelta is the in-place equivalent of
+// windowDeltaPts(points, clip(points, cutoff), slots): the counter
+// increase and observed span across the window, plus the in-window
+// point count, computed directly from the ring without copying it.
+// The caller must hold the store lock.
+func (rs *ringSeries) windowDelta(cutoff time.Time) (delta float64, span time.Duration, inWindow int) {
+	first := sort.Search(rs.n, func(i int) bool { return !rs.at(i).T.Before(cutoff) })
+	inWindow = rs.n - first
+	if inWindow == 0 {
+		return 0, 0, 0
+	}
+	last := rs.at(rs.n - 1)
+	if first > 0 { // newest pre-cutoff point is the baseline
+		base := rs.at(first - 1)
+		return last.V - base.V, last.T.Sub(base.T), inWindow
+	}
+	if rs.n < len(rs.ring) { // born inside the retained window
+		return last.V, last.T.Sub(rs.at(0).T), inWindow
+	}
+	if inWindow < 2 {
+		return 0, 0, inWindow
+	}
+	firstPt := rs.at(first)
+	return last.V - firstPt.V, last.T.Sub(firstPt.T), inWindow
 }
 
 // points returns the retained points oldest → newest.
@@ -98,6 +147,16 @@ type Store struct {
 	window time.Duration
 	slots  int
 	series map[string]*ringSeries
+	// byName indexes the rings by metric name, each family kept
+	// sorted by label signature, so per-family queries (the rule
+	// engine runs several per tick) touch only their own series
+	// instead of scanning the whole map.
+	byName map[string][]*ringSeries
+	// newest caches the latest sample time across all series (Put
+	// only ever appends, so the maximum is monotone), making the
+	// per-query window resolution O(1).
+	newest    time.Time
+	hasNewest bool
 }
 
 // NewStore returns a store retaining up to slots points per series,
@@ -110,7 +169,7 @@ func NewStore(window time.Duration, slots int) *Store {
 	if slots <= 0 {
 		slots = DefSlots
 	}
-	return &Store{window: window, slots: slots, series: make(map[string]*ringSeries)}
+	return &Store{window: window, slots: slots, series: make(map[string]*ringSeries), byName: make(map[string][]*ringSeries)}
 }
 
 var defaultStore = NewStore(DefWindow, DefSlots)
@@ -154,6 +213,10 @@ func key(name string, labels map[string]string) string {
 func (st *Store) Put(name string, labels map[string]string, t time.Time, v float64) {
 	st.mu.Lock()
 	st.seriesLocked(name, labels).put(Point{T: t, V: v})
+	if !st.hasNewest || t.After(st.newest) {
+		st.newest = t
+		st.hasNewest = true
+	}
 	st.mu.Unlock()
 }
 
@@ -172,8 +235,25 @@ func (st *Store) seriesLocked(name string, labels map[string]string) *ringSeries
 				lcp[lk] = lv
 			}
 		}
-		rs = &ringSeries{name: name, labels: lcp, ring: make([]Point, st.slots)}
+		rs = &ringSeries{name: name, key: k, labels: lcp, ring: make([]Point, st.slots)}
+		if le, okLE := lcp["le"]; okLE && strings.HasSuffix(name, "_bucket") {
+			rs.bucket = true
+			rs.bound = math.Inf(1)
+			if le != "+Inf" {
+				if v, err := strconv.ParseFloat(le, 64); err == nil {
+					rs.bound = v
+				}
+			}
+			rs.base = baseLabels(lcp)
+			rs.baseSig = labelSig(rs.base)
+		}
 		st.series[k] = rs
+		fam := st.byName[name]
+		at := sort.Search(len(fam), func(i int) bool { return fam[i].key >= k })
+		fam = append(fam, nil)
+		copy(fam[at+1:], fam[at:])
+		fam[at] = rs
+		st.byName[name] = fam
 	}
 	return rs
 }
@@ -184,15 +264,7 @@ func (st *Store) Family(name string) []Series {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	var out []Series
-	keys := make([]string, 0)
-	for k, rs := range st.series {
-		if rs.name == name {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		rs := st.series[k]
+	for _, rs := range st.byName[name] {
 		out = append(out, Series{Name: rs.name, Labels: rs.labels, Points: rs.points()})
 	}
 	return out
@@ -212,15 +284,11 @@ func (st *Store) Get(name string, labels map[string]string) Series {
 // Names returns the distinct metric names present, sorted.
 func (st *Store) Names() []string {
 	st.mu.RLock()
-	seen := make(map[string]bool)
-	for _, rs := range st.series {
-		seen[rs.name] = true
-	}
-	st.mu.RUnlock()
-	out := make([]string, 0, len(seen))
-	for n := range seen {
+	out := make([]string, 0, len(st.byName))
+	for n := range st.byName {
 		out = append(out, n)
 	}
+	st.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -239,17 +307,5 @@ func (st *Store) Len() int {
 func (st *Store) Newest() (time.Time, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	var newest time.Time
-	found := false
-	for _, rs := range st.series {
-		if rs.n == 0 {
-			continue
-		}
-		last := rs.ring[(rs.head-1+len(rs.ring))%len(rs.ring)].T
-		if !found || last.After(newest) {
-			newest = last
-			found = true
-		}
-	}
-	return newest, found
+	return st.newest, st.hasNewest
 }

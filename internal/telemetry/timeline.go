@@ -96,6 +96,12 @@ type Timeline struct {
 	GeneratedAt time.Time `json:"generated_at"`
 	// WindowNanos is the requested window length.
 	WindowNanos int64 `json:"window_nanos"`
+	// StepNanos is the display decimation step (0 when the timeline is
+	// full-resolution). Windowed deltas, rates and quantiles are always
+	// computed from the full-resolution points; the step only thins
+	// what Samples counts and what per-point scans (queue window-max)
+	// see.
+	StepNanos int64 `json:"step_nanos,omitempty"`
 	// SpanNanos is the observed span: newest minus oldest retained
 	// sample inside the window (≤ WindowNanos).
 	SpanNanos int64 `json:"span_nanos"`
@@ -120,10 +126,24 @@ type Timeline struct {
 // non-nil, supplies histogram exemplars (the store holds only scalar
 // points); pass the registry the sampler snapshots.
 func Build(st *Store, reg *metrics.Registry, window time.Duration) *Timeline {
+	return BuildStep(st, reg, window, 0)
+}
+
+// BuildStep is Build with display decimation: a positive step thins
+// each series to at most one point per step before per-point scans
+// (the newest point always survives, so last-value reads are exact),
+// which keeps coarse views of a dense ring cheap to render. Windowed
+// deltas, rates and quantiles always run on the full-resolution
+// points — decimating first would corrupt the dropped-count baseline
+// arithmetic. A non-positive step means no decimation.
+func BuildStep(st *Store, reg *metrics.Registry, window, step time.Duration) *Timeline {
 	if window <= 0 {
 		window = st.Window()
 	}
-	tl := &Timeline{WindowNanos: int64(window)}
+	if step < 0 {
+		step = 0
+	}
+	tl := &Timeline{WindowNanos: int64(window), StepNanos: int64(step)}
 	now, ok := st.Newest()
 	if !ok {
 		return tl
@@ -132,59 +152,40 @@ func Build(st *Store, reg *metrics.Registry, window time.Duration) *Timeline {
 	cutoff := now.Add(-window)
 
 	// One consistent snapshot of every series, clipped to the window.
-	// born marks series whose entire history is retained and inside
-	// the window — counters born there started at zero, which is their
-	// windowed-delta baseline (a sampler that attaches after work
-	// begins would otherwise under-report every first-window delta).
+	// raw keeps the full-resolution in-window points for delta
+	// baselines; pts is the (possibly decimated) display view.
 	type snap struct {
-		s    Series
-		pts  []Point
-		born bool
+		s   Series
+		pts []Point
+		raw []Point
 	}
 	var all []snap
 	oldest := now
 	for _, name := range st.Names() {
 		for _, s := range st.Family(name) {
-			pts := clip(s.Points, cutoff)
-			if len(pts) == 0 {
+			raw := clip(s.Points, cutoff)
+			if len(raw) == 0 {
 				continue
 			}
-			if pts[0].T.Before(oldest) {
-				oldest = pts[0].T
+			if raw[0].T.Before(oldest) {
+				oldest = raw[0].T
 			}
+			pts := decimate(raw, step)
 			if len(pts) > tl.Samples {
 				tl.Samples = len(pts)
 			}
-			born := len(pts) == len(s.Points) && len(s.Points) < st.slots
-			all = append(all, snap{s: s, pts: pts, born: born})
+			all = append(all, snap{s: s, pts: pts, raw: raw})
 		}
 	}
 	span := now.Sub(oldest)
 	tl.SpanNanos = int64(span)
 	spanSec := span.Seconds()
 
-	// windowDelta is the counter increase across the window: baseline
-	// is the newest retained point before the cutoff when one exists,
-	// zero for series born inside the window, else the window's first
-	// point (conservative when the ring overwrote older history). The
-	// returned span is zero when no in-window time elapsed; rate
-	// consumers fall back to the timeline span.
+	// windowDelta is the counter increase across the window; baseline
+	// semantics live in windowDeltaPts, shared with the Store query
+	// API the health rule engine uses.
 	windowDelta := func(sn snap) (float64, time.Duration) {
-		if len(sn.pts) == 0 {
-			return 0, 0
-		}
-		last := sn.pts[len(sn.pts)-1]
-		if dropped := len(sn.s.Points) - len(sn.pts); dropped > 0 {
-			base := sn.s.Points[dropped-1]
-			return last.V - base.V, last.T.Sub(base.T)
-		}
-		if sn.born {
-			return last.V, last.T.Sub(sn.pts[0].T)
-		}
-		if len(sn.pts) < 2 {
-			return 0, 0
-		}
-		return last.V - sn.pts[0].V, last.T.Sub(sn.pts[0].T)
+		return windowDeltaPts(sn.s.Points, sn.raw, st.slots)
 	}
 
 	empty := snap{}
@@ -488,8 +489,12 @@ func pickExemplar(hists []metrics.HistSample, name string, labels map[string]str
 // /debug/timeline?format=text and printed by `hsbench -timeline`.
 func (tl *Timeline) Format() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "timeline: window %s, span %s, %d samples\n",
+	fmt.Fprintf(&sb, "timeline: window %s, span %s, %d samples",
 		time.Duration(tl.WindowNanos), time.Duration(tl.SpanNanos), tl.Samples)
+	if tl.StepNanos > 0 {
+		fmt.Fprintf(&sb, ", step %s", time.Duration(tl.StepNanos))
+	}
+	sb.WriteByte('\n')
 	if tl.Samples == 0 {
 		sb.WriteString("  (no samples retained — is the sampler running?)\n")
 		return sb.String()

@@ -64,5 +64,11 @@ probe /debug/timeline       '"window_nanos"'
 probe /debug/timeline       '"utilization"'
 probe '/debug/timeline?format=text' 'timeline:'
 probe '/debug/timeline?window=30s' '"generated_at"'
+probe '/debug/timeline?window=5s&step=1s' '"step_nanos"'
+probe /debug/health         '"severity"'
+probe '/debug/health?format=text' 'health:'
+probe '/debug/health?probe=live' 'live=true'
+probe /debug/events         '"total"'
+probe '/debug/events?format=text' 'events:'
 
 exit $fail

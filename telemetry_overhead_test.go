@@ -1,7 +1,8 @@
 // Acceptance tests for the continuous-telemetry layer: the sampler +
-// exemplar capture must fit inside the same 5% overhead budget the
-// flight recorder already meets on the tier-1 matmul, and a sampled
-// run must yield a fully-populated timeline.
+// exemplar capture + health engine (SLO rule pack and stall watchdog
+// on the sampler tick) must fit inside the same 5% overhead budget
+// the flight recorder already meets on the tier-1 matmul, and a
+// sampled run must yield a fully-populated timeline.
 package hstreams_test
 
 import (
@@ -10,12 +11,14 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"hstreams"
 	"hstreams/internal/app"
 	"hstreams/internal/core"
+	"hstreams/internal/health"
 	"hstreams/internal/matmul"
 	"hstreams/internal/metrics"
 	"hstreams/internal/platform"
@@ -36,28 +39,47 @@ type telemetryOverheadResult struct {
 // telemetryWall runs reps Sim-mode tier-1 matmuls and returns the
 // minimum single-run wall time. The telemetry arm carries the full
 // steady-state observation stack the CLIs ship — flight recorder,
-// exemplar capture (on whenever tracing is), and one sampler at the
-// 100ms interval hsbench uses, feeding a rolling store, started
-// before the first rep and stopped after the last so every timed run
-// executes under continuous sampling; the bare arm runs with causal
-// tracing disabled and no sampler. (Faster sampling is not free on a
-// small host: each snapshot walks every registry series, so on a
+// exemplar capture (on whenever tracing is), one sampler at the 100ms
+// interval hsbench uses feeding a rolling store, and the health
+// engine (full default SLO rule pack + stall watchdog + journal)
+// ticking on the sampler cadence, started before the first rep and
+// stopped after the last so every timed run executes under continuous
+// sampling and evaluation; the bare arm runs with causal tracing
+// disabled and no sampler. (Faster sampling is not free on a small
+// host: each snapshot walks every registry series, so on a
 // single-core box a 2ms interval alone eats ~10% of the CPU — the
 // budget holds for the shipped configuration, and
-// telemetry.DefInterval is coarser still.) samples accumulates how many sampler snapshots the
-// telemetry arm took, so the result can prove the sampler actually
-// ran during the timed region.
-func telemetryWall(t *testing.T, telem bool, flight *hstreams.FlightRecorder, reps int, samples *float64) time.Duration {
+// telemetry.DefInterval is coarser still.) samples accumulates how
+// many sampler snapshots the telemetry arm took and ticks how often
+// the health engine evaluated, so the result can prove both actually
+// ran during the timed region. Both arms install a lifecycle-event
+// hook; events counts what it saw, guarding the lazily-allocated
+// resNote contract: a fault-free run must emit zero events, keeping
+// the hot-path finish at a single nil check.
+func telemetryWall(t *testing.T, telem bool, flight *hstreams.FlightRecorder, reps int, samples, ticks *float64, events *atomic.Int64) time.Duration {
 	t.Helper()
 	reg := metrics.New()
 	var sam *telemetry.Sampler
 	if telem {
+		store := telemetry.NewStore(time.Minute, 256)
+		journal := health.NewJournal(256, reg)
+		engine := health.New(health.Options{
+			Store:    store,
+			Registry: reg,
+			Journal:  journal,
+		})
 		sam = telemetry.NewSampler(telemetry.SamplerOptions{
 			Registry: reg,
-			Store:    telemetry.NewStore(time.Minute, 256),
+			Store:    store,
 			Interval: 100 * time.Millisecond,
+			OnSample: engine.Tick,
 		})
 		sam.Start()
+	}
+	onEvent := func(ev core.RuntimeEvent) {
+		if events != nil {
+			events.Add(1)
+		}
 	}
 	best := time.Duration(1<<63 - 1)
 	for i := 0; i < reps; i++ {
@@ -73,6 +95,7 @@ func telemetryWall(t *testing.T, telem bool, flight *hstreams.FlightRecorder, re
 			Metrics:            reg,
 			Flight:             flight,
 			DisableCausalTrace: !telem,
+			OnEvent:            onEvent,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -88,10 +111,15 @@ func telemetryWall(t *testing.T, telem bool, flight *hstreams.FlightRecorder, re
 	}
 	if sam != nil {
 		sam.Stop()
-		if samples != nil {
-			for _, s := range reg.Snapshot() {
-				if s.Name == "hstreams_telemetry_samples_total" {
+		for _, s := range reg.Snapshot() {
+			switch s.Name {
+			case "hstreams_telemetry_samples_total":
+				if samples != nil {
 					*samples += s.Value
+				}
+			case "hstreams_health_ticks_total":
+				if ticks != nil {
+					*ticks += s.Value
 				}
 			}
 		}
@@ -106,14 +134,14 @@ func telemetryWall(t *testing.T, telem bool, flight *hstreams.FlightRecorder, re
 // per-arm medians: rounds run their two arms back-to-back, so the
 // machine-speed drift this container exhibits cancels inside each
 // ratio). The returned arm times are per-arm medians, for reporting.
-func telemetryOverheadSample(t *testing.T, flight *hstreams.FlightRecorder, samples *float64) (telem, bare, overheadPct float64) {
+func telemetryOverheadSample(t *testing.T, flight *hstreams.FlightRecorder, samples, ticks *float64, events *atomic.Int64) (telem, bare, overheadPct float64) {
 	t.Helper()
 	const rounds, reps = 24, 16
 	telemMins := make([]float64, 0, rounds)
 	bareMins := make([]float64, 0, rounds)
 	measure := func(withTelem bool) {
 		runtime.GC()
-		d := telemetryWall(t, withTelem, flight, reps, samples)
+		d := telemetryWall(t, withTelem, flight, reps, samples, ticks, events)
 		if withTelem {
 			telemMins = append(telemMins, d.Seconds())
 		} else {
@@ -144,24 +172,31 @@ func TestTelemetryOverheadBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing benchmark; skipped in -short")
 	}
-	var samples float64
+	var samples, ticks float64
+	var events atomic.Int64
 	flight := hstreams.NewFlightRecorder(1 << 12)
 	// Warm up both arms so first-run allocation noise hits neither.
-	telemetryWall(t, true, flight, 1, nil)
-	telemetryWall(t, false, flight, 1, nil)
+	telemetryWall(t, true, flight, 1, nil, nil, nil)
+	telemetryWall(t, false, flight, 1, nil, nil, nil)
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
-	telem, bare, overhead := telemetryOverheadSample(t, flight, &samples)
+	telem, bare, overhead := telemetryOverheadSample(t, flight, &samples, &ticks, &events)
 	if overhead > 5 && !raceEnabled {
 		t.Logf("overhead %.2f%% over budget; re-measuring once to reject background-load noise", overhead)
-		samples = 0
-		telem, bare, overhead = telemetryOverheadSample(t, flight, &samples)
+		samples, ticks = 0, 0
+		telem, bare, overhead = telemetryOverheadSample(t, flight, &samples, &ticks, &events)
 	}
 
 	if samples == 0 {
 		t.Fatal("telemetry arm took no sampler snapshots")
 	}
+	if ticks == 0 {
+		t.Fatal("telemetry arm never ticked the health engine")
+	}
+	if n := events.Load(); n != 0 {
+		t.Fatalf("fault-free runs emitted %d lifecycle events; the hot path must stay event-free", n)
+	}
 	res := telemetryOverheadResult{
-		Benchmark:    "matmul Sim N=19200 tile=2400 HSW+2KNC, trace+exemplars+continuous 100ms sampler vs untraced (overhead: median per-round ratio over 24 interleaved rounds of min-of-16 runs; arm times are per-arm medians)",
+		Benchmark:    "matmul Sim N=19200 tile=2400 HSW+2KNC, trace+exemplars+continuous 100ms sampler+health engine (default rule pack + watchdog on the sampler tick) vs untraced (overhead: median per-round ratio over 24 interleaved rounds of min-of-16 runs; arm times are per-arm medians)",
 		TelemSec:     telem,
 		BareSec:      bare,
 		OverheadPct:  overhead,
