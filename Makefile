@@ -1,13 +1,14 @@
 GO ?= go
 
 .PHONY: all build test race vet fmt golden doclint debug-smoke chaos-smoke \
-	health-smoke check bench clean bench-sched bench-sched-guard \
+	health-smoke serve-smoke check bench clean bench-sched bench-sched-guard \
 	bench-sched-smoke bench-trace bench-telemetry bench-telemetry-smoke
 
 # DOC_PKGS are the packages held to the godoc floor by doclint: the
-# paper-critical stack plus the facade.
+# paper-critical stack plus the serving layer and the facade.
 DOC_PKGS = internal/fault internal/fabric internal/coi internal/core \
-	internal/trace internal/metrics internal/telemetry internal/health .
+	internal/trace internal/metrics internal/telemetry internal/health \
+	internal/serve .
 
 all: build
 
@@ -62,12 +63,20 @@ chaos-smoke:
 health-smoke:
 	$(GO) test -run 'TestHealthSmoke$$' -count=1 -v .
 
+# serve-smoke is the serving layer's CI gate: boot hsserve with two
+# tenants at 2:1 weights, saturate both with hsbench's load mode, and
+# assert throughput shares match the weights within ±10%, queue-depth
+# peaks stay within the bound, the hstreams_tenant_* families are
+# populated, and SIGTERM shutdown leaks zero buffers (SERVING.md).
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # check is the pre-commit gate: build, vet, formatting, the doc lint,
 # the exposition golden, tests under the race detector, a single-shot
 # scheduler throughput smoke (function, not timing — the timing gate
-# is bench-sched-guard), the telemetry smoke, the chaos smoke, and the
-# health smoke.
-check: build vet fmt doclint golden race bench-sched-smoke bench-telemetry-smoke chaos-smoke health-smoke
+# is bench-sched-guard), the telemetry smoke, the chaos smoke, the
+# health smoke, and the serving smoke.
+check: build vet fmt doclint golden race bench-sched-smoke bench-telemetry-smoke chaos-smoke health-smoke serve-smoke
 
 bench:
 	$(GO) run ./cmd/hsbench -fig all

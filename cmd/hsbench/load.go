@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// loadOptions carries the -load-* flag set: hsbench's serving
+// load-generator mode, which drives one tenant of a running hsserve
+// with closed-loop workers (each worker keeps exactly one waited
+// submission outstanding). Two concurrent hsbench load runs against
+// one hsserve are the serve-smoke fairness experiment.
+type loadOptions struct {
+	url         string        // hsserve base URL; non-empty enables load mode
+	tenant      string        // tenant to register and drive
+	weight      int           // tenant fair-share weight
+	duration    time.Duration // how long to keep submitting
+	concurrency int           // closed-loop workers
+	cost        time.Duration // per-action spin time
+}
+
+// runLoad registers the tenant (tolerating an already-registered
+// one), drives it with closed-loop waited submissions for the
+// configured duration, and prints one machine-parseable summary line:
+//
+//	load tenant=NAME ok=N shed=N err=N wall=SECONDSs rate=N.N/s
+//
+// ok counts completed actions, shed counts 429 responses (admission
+// or stream-queue shed), err counts everything else.
+func runLoad(opt loadOptions) {
+	client := &http.Client{}
+	base := opt.url
+
+	reg := map[string]any{"name": opt.tenant, "weight": opt.weight}
+	status, body, err := postJSON(client, base+"/v1/tenants", reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "load: registering tenant %q: %v\n", opt.tenant, err)
+		os.Exit(1)
+	}
+	// 409 means the tenant exists (e.g. pre-registered via -tenant or
+	// a previous run); every other non-2xx is fatal.
+	if status >= 300 && status != http.StatusConflict {
+		fmt.Fprintf(os.Stderr, "load: registering tenant %q: HTTP %d: %s\n", opt.tenant, status, body)
+		os.Exit(1)
+	}
+
+	submit := map[string]any{
+		"kernel": "spin",
+		"args":   []int64{int64(opt.cost)},
+		"wait":   true,
+	}
+	payload, _ := json.Marshal(submit)
+	submitURL := base + "/v1/tenants/" + opt.tenant + "/submit"
+
+	var ok, shed, errs atomic.Int64
+	deadline := time.Now().Add(opt.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				resp, err := client.Post(submitURL, "application/json", bytes.NewReader(payload))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					ok.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	wall := time.Since(start)
+	fmt.Printf("load tenant=%s ok=%d shed=%d err=%d wall=%.1fs rate=%.1f/s\n",
+		opt.tenant, ok.Load(), shed.Load(), errs.Load(),
+		wall.Seconds(), float64(ok.Load())/wall.Seconds())
+	if errs.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// postJSON posts v as JSON and returns the status code and body.
+func postJSON(client *http.Client, url string, v any) (int, string, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), nil
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -81,12 +82,22 @@ func TestHealthSmoke(t *testing.T) {
 	reg := metrics.New()
 	st := telemetry.NewStore(time.Second, 200)
 	journal := health.NewJournal(256, reg)
-	var rts []*core.Runtime
+	// rts is published after the sampler is already ticking, so both
+	// closures must read it under the same lock as the append below.
+	var (
+		rtsMu sync.Mutex
+		rts   []*core.Runtime
+	)
+	getRTs := func() []*core.Runtime {
+		rtsMu.Lock()
+		defer rtsMu.Unlock()
+		return append([]*core.Runtime(nil), rts...)
+	}
 	engine := health.New(health.Options{
 		Store:    st,
 		Registry: reg,
 		Journal:  journal,
-		Runtimes: func() []*core.Runtime { return rts },
+		Runtimes: getRTs,
 	})
 	sampler := telemetry.NewSampler(telemetry.SamplerOptions{
 		Registry: reg,
@@ -98,7 +109,7 @@ func TestHealthSmoke(t *testing.T) {
 		Registry:  reg,
 		Telemetry: st,
 		Health:    engine,
-		Runtimes:  func() []*core.Runtime { return rts },
+		Runtimes:  getRTs,
 	}))
 	defer srv.Close()
 	sampler.Start()
@@ -124,7 +135,9 @@ func TestHealthSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rtsMu.Lock()
 	rts = append(rts, a.RT)
+	rtsMu.Unlock()
 	matmul.RegisterExtra(a.RT)
 	if _, err := matmul.Run(a, matmul.Config{N: 96, Tile: 12, UseHost: true, LoadBalance: true, Verify: true}); err != nil {
 		a.Fini()

@@ -253,6 +253,16 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 	if rt.finalized.Load() {
 		return nil, ErrFinalized
 	}
+	// Retain each operand's buffer before checking its lifecycle
+	// state: a concurrent Free either sees the reference and defers
+	// reclamation to our release, or has already left the live state
+	// and the enqueue fails here (see Buf.retain).
+	for i, o := range a.ops {
+		if !o.Buf.retain() {
+			releaseOps(a.ops[:i+1])
+			return nil, fmt.Errorf("%w: %q", ErrBufferFreed, o.Buf.name)
+		}
+	}
 	s := a.stream
 	a.id = rt.nextID.Add(1)
 	// Hold one pending token until the OnEnqueue hook has fired:
@@ -298,9 +308,43 @@ func (rt *Runtime) enqueue(a *Action, extraDeps []*Action) (*Action, error) {
 	fifoDep := func(b *Action) { addDep(b, trace.DepFIFO) }
 
 	s.mu.Lock()
-	if s.destroyed {
+	for {
+		if s.destroyed {
+			s.mu.Unlock()
+			releaseOps(a.ops)
+			return nil, ErrBadStream
+		}
+		// Bounded-queue admission: the check runs under s.mu, so the
+		// append below can never push len(inflight) past the bound —
+		// the depth-peak gauge is capped by construction.
+		if s.maxDepth <= 0 || len(s.inflight) < s.maxDepth {
+			break
+		}
+		if s.policy == QueueShed {
+			depth := len(s.inflight)
+			s.mu.Unlock()
+			s.met.shed.Inc()
+			releaseOps(a.ops)
+			return nil, fmt.Errorf("%w: %s at depth %d", ErrQueueFull, s.name, depth)
+		}
+		// QueueBlock: wait for any inflight member to retire, then
+		// re-evaluate. The wait pumps the virtual clock in Sim mode,
+		// so the source thread's time advances across the stall and
+		// the action's earliest start moves with it.
+		head := s.inflight[0]
 		s.mu.Unlock()
-		return nil, ErrBadStream
+		s.met.blocked.Inc()
+		rt.exec.waitAction(head)
+		if rt.cfg.Mode == ModeSim {
+			se := rt.exec.(*simExec)
+			se.mu.Lock()
+			if a.ready < se.hostTime {
+				a.ready = se.hostTime
+				a.tEnqueue = se.hostTime
+			}
+			se.mu.Unlock()
+		}
+		s.mu.Lock()
 	}
 	// Dependences: program order within the stream, restricted to
 	// hazardous operand overlap; sync actions order against
@@ -401,12 +445,16 @@ func (rt *Runtime) finish(a *Action, err error) {
 	// Retired actions may be pinned for a long time by the flight
 	// recorder (the ring stores &a.span); drop the execution payload so
 	// a pinned action does not keep successors, operands, and kernel
-	// closures reachable.
+	// closures reachable. ops are released below, outside the lock —
+	// the release that reclaims a free-pending buffer takes stream
+	// locks itself.
+	ops := a.ops
 	a.succs = nil
 	a.ops = nil
 	a.kernelFn = nil
 	a.args = nil
 	s.mu.Unlock()
+	releaseOps(ops)
 
 	rt.outstanding.Add(-1)
 	s.ndepth.Add(-1)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"hstreams/internal/coi"
@@ -11,6 +12,18 @@ import (
 // proxyAlign keeps distinct buffers on distinct cache-line-aligned
 // proxy addresses.
 const proxyAlign = 64
+
+// Buffer lifecycle states. A buffer is allocated live, transitions to
+// free-pending when the owner calls Free, and to recycled when its
+// last in-flight reference retires (immediately, when there is none).
+// Recycling releases the proxy range back to the allocator and drops
+// every domain instance; the *Buf handle itself stays valid but
+// rejects new operands with ErrBufferFreed.
+const (
+	bufLive int32 = iota
+	bufFreePending
+	bufRecycled
+)
 
 // Buf is an hStreams buffer: a range of the unified source proxy
 // address space, instantiated in every domain. The host instance is
@@ -23,6 +36,17 @@ type Buf struct {
 	proxy uint64
 	host  []byte        // source instance (nil in Sim mode)
 	inst  []*coi.Buffer // per domain index; nil for host / Sim
+
+	// refs counts operands of enqueued-but-incomplete actions.
+	// enqueue retains per operand before checking state; finish (and
+	// every enqueue failure path) releases. The retain-then-check /
+	// check-refs-then-CAS ordering between enqueue and Free makes
+	// use-after-free detection race-free: a concurrent Free either
+	// observes the reference and defers reclamation to the release,
+	// or has already left bufLive and the enqueue fails.
+	refs atomic.Int64
+	// state is one of bufLive / bufFreePending / bufRecycled.
+	state atomic.Int32
 }
 
 // Alloc1D creates a buffer of size bytes, instantiated in all domains
@@ -33,16 +57,10 @@ func (rt *Runtime) Alloc1D(name string, size int64) (*Buf, error) {
 	if size <= 0 {
 		return nil, ErrBadBufferSize
 	}
-	rt.mu.Lock()
 	if rt.finalized.Load() {
-		rt.mu.Unlock()
 		return nil, ErrFinalized
 	}
-	proxy := rt.nextProxy
-	rt.nextProxy += (uint64(size) + proxyAlign - 1) / proxyAlign * proxyAlign
-	rt.mu.Unlock()
-
-	b := &Buf{rt: rt, name: name, size: size, proxy: proxy}
+	b := &Buf{rt: rt, name: name, size: size, proxy: rt.proxy.Alloc(uint64(size))}
 	switch rt.cfg.Mode {
 	case ModeReal:
 		b.host = make([]byte, size)
@@ -50,6 +68,12 @@ func (rt *Runtime) Alloc1D(name string, size int64) (*Buf, error) {
 		for i := 1; i < len(rt.domains); i++ {
 			cb, err := rt.procs[i].CreateBuffer(int(size))
 			if err != nil {
+				for _, done := range b.inst {
+					if done != nil {
+						done.Destroy()
+					}
+				}
+				rt.proxy.Free(b.proxy, uint64(size))
 				return nil, fmt.Errorf("core: instantiating %q in %s: %w", name, rt.domains[i].spec.Name, err)
 			}
 			b.inst[i] = cb
@@ -65,7 +89,101 @@ func (rt *Runtime) Alloc1D(name string, size int64) (*Buf, error) {
 	rt.mu.Lock()
 	rt.bufs = append(rt.bufs, b)
 	rt.mu.Unlock()
+	rt.mets.buffersLive.Add(1)
+	rt.mets.bufferBytes.Add(size)
 	return b, nil
+}
+
+// Free releases the buffer (hStreams_DeAlloc). The call is
+// asynchronous with respect to in-flight work: when actions still
+// reference the buffer, reclamation is deferred until the last one
+// retires (the dependence index guarantees those actions see intact
+// storage — see DESIGN.md §9.4); when none do, the proxy range is
+// recycled and every domain instance is dropped immediately. Either
+// way the handle is dead to new work: later operands on it fail with
+// ErrBufferFreed, and a second Free returns ErrBufferFreed without
+// effect.
+func (b *Buf) Free() error {
+	if !b.state.CompareAndSwap(bufLive, bufFreePending) {
+		return fmt.Errorf("%w: %q already freed", ErrBufferFreed, b.name)
+	}
+	b.rt.mets.buffersFreed.Inc()
+	if b.refs.Load() == 0 {
+		b.tryReclaim()
+	} else {
+		b.rt.mets.reclaimDeferred.Inc()
+	}
+	return nil
+}
+
+// Freed reports whether Free has been called on the buffer.
+func (b *Buf) Freed() bool { return b.state.Load() != bufLive }
+
+// retain takes one in-flight reference and reports whether the buffer
+// is still live. On false the caller must release and refuse the
+// operand — retaining first is what closes the race with Free.
+func (b *Buf) retain() bool {
+	b.refs.Add(1)
+	return b.state.Load() == bufLive
+}
+
+// release drops one in-flight reference; the release that leaves a
+// free-pending buffer unreferenced performs the deferred reclamation.
+func (b *Buf) release() {
+	if b.refs.Add(-1) == 0 && b.state.Load() == bufFreePending {
+		b.tryReclaim()
+	}
+}
+
+// tryReclaim moves free-pending → recycled exactly once (concurrent
+// callers race on the CAS; one wins) and releases the buffer's
+// resources.
+func (b *Buf) tryReclaim() {
+	if !b.state.CompareAndSwap(bufFreePending, bufRecycled) {
+		return
+	}
+	rt := b.rt
+	rt.mu.Lock()
+	for i, x := range rt.bufs {
+		if x == b {
+			last := len(rt.bufs) - 1
+			rt.bufs[i] = rt.bufs[last]
+			rt.bufs[last] = nil
+			rt.bufs = rt.bufs[:last]
+			break
+		}
+	}
+	streams := append([]*Stream(nil), rt.streams...)
+	rt.mu.Unlock()
+	// Zero references means every interval in the per-stream indexes
+	// belongs to a completed action, so the whole per-buffer entry can
+	// go (one stream lock at a time, per the locking discipline).
+	for _, s := range streams {
+		s.mu.Lock()
+		delete(s.index, b)
+		s.mu.Unlock()
+	}
+	for _, cb := range b.inst {
+		if cb != nil {
+			cb.Destroy()
+		}
+	}
+	b.inst = nil
+	b.host = nil
+	rt.proxy.Free(b.proxy, uint64(b.size))
+	rt.mets.proxyRecycled.Inc()
+	rt.mets.buffersLive.Add(-1)
+	rt.mets.bufferBytes.Add(-b.size)
+}
+
+// releaseOps drops the in-flight references a failed or finished
+// enqueue holds on its operand buffers. Call without any stream lock
+// held — the release that triggers reclamation takes stream locks
+// itself.
+func releaseOps(ops []Operand) {
+	for _, o := range ops {
+		o.Buf.release()
+	}
 }
 
 // AllocFloat64 creates a buffer holding n float64 elements and, in

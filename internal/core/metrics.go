@@ -52,6 +52,18 @@ type coreMetrics struct {
 	quarantined   *metrics.GaugeVec     // domain: 1 while quarantined
 	domainStreams *metrics.GaugeVec     // domain: streams attached (telemetry capacity basis)
 	linkOcc       *metrics.HistogramVec // src, dst: modeled/measured per-transfer link busy time
+
+	// Buffer lifecycle (buffer.go). buffersLive returning to its
+	// pre-Init baseline after Fini is the serving layer's leak check.
+	buffersLive     *metrics.Gauge   // allocated-and-not-recycled buffers
+	bufferBytes     *metrics.Gauge   // bytes held by live buffers
+	buffersFreed    *metrics.Counter // Free calls accepted
+	reclaimDeferred *metrics.Counter // frees deferred on in-flight references
+	proxyRecycled   *metrics.Counter // proxy ranges returned to the allocator
+
+	// Bounded-queue admission (Config.MaxQueueDepth).
+	shed    *metrics.CounterVec // stream: enqueues refused with ErrQueueFull
+	blocked *metrics.CounterVec // stream: enqueues that waited for queue space
 }
 
 func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
@@ -75,6 +87,15 @@ func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
 		quarantined:   reg.GaugeVec("hstreams_domain_quarantined", "1 while the domain is quarantined by its breaker, else 0.", "domain"),
 		domainStreams: reg.GaugeVec("hstreams_domain_streams", "Streams whose sink is bound to the domain; the telemetry layer's utilization-capacity basis.", "domain"),
 		linkOcc:       reg.HistogramVec("hstreams_link_occupancy_seconds", "Per-transfer link busy time by direction; the windowed _sum delta over wall time is link occupancy.", nil, "src", "dst"),
+
+		buffersLive:     reg.Gauge("hstreams_buffers_live", "Buffers allocated and not yet recycled; returns to baseline after Fini — the leak check."),
+		bufferBytes:     reg.Gauge("hstreams_buffer_bytes_live", "Bytes held by live buffers."),
+		buffersFreed:    reg.Counter("hstreams_buffers_freed_total", "Buf.Free calls accepted (first Free per buffer)."),
+		reclaimDeferred: reg.Counter("hstreams_buffers_reclaim_deferred_total", "Frees whose reclamation was deferred until in-flight references retired."),
+		proxyRecycled:   reg.Counter("hstreams_proxy_recycled_total", "Proxy address ranges returned to the recycling allocator."),
+
+		shed:    reg.CounterVec("hstreams_queue_shed_total", "Enqueues refused with ErrQueueFull by a full bounded queue under QueueShed, per stream.", "stream"),
+		blocked: reg.CounterVec("hstreams_enqueue_blocked_total", "Enqueues that waited for queue space under QueueBlock, per stream.", "stream"),
 	}
 }
 
@@ -84,6 +105,7 @@ type streamMetrics struct {
 	dur, stall, sched [mkCount]*metrics.Histogram
 	depth, depthPeak  *metrics.Gauge
 	retired           *metrics.Counter
+	shed, blocked     *metrics.Counter
 }
 
 func (cm *coreMetrics) forStream(name, domain string) *streamMetrics {
@@ -91,6 +113,8 @@ func (cm *coreMetrics) forStream(name, domain string) *streamMetrics {
 		depth:     cm.depth.With(name),
 		depthPeak: cm.depthPeak.With(name),
 		retired:   cm.retired.With(name),
+		shed:      cm.shed.With(name),
+		blocked:   cm.blocked.With(name),
 	}
 	for k := 0; k < mkCount; k++ {
 		kind := metricKindNames[k]

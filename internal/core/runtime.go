@@ -31,6 +31,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,8 @@ var (
 	ErrWrongRuntime  = errors.New("core: object belongs to a different runtime")
 	ErrEmptyMachine  = errors.New("core: machine must have a host domain")
 	ErrBadBufferSize = errors.New("core: buffer size must be positive")
+	ErrBufferFreed   = errors.New("core: buffer freed")
+	ErrQueueFull     = errors.New("core: stream queue full")
 )
 
 // Mode selects the execution back end.
@@ -65,12 +68,50 @@ const (
 	ModeSim
 )
 
+// QueuePolicy selects what an enqueue does when its stream's bounded
+// queue is at capacity (Config.MaxQueueDepth).
+type QueuePolicy int
+
+const (
+	// QueueBlock makes the enqueue wait for queue space — backpressure
+	// propagates to the source thread. This is the default.
+	QueueBlock QueuePolicy = iota
+	// QueueShed makes the enqueue fail fast with ErrQueueFull, never
+	// entering the stream — load shedding. A shed action leaves no
+	// trace in the dependence index, so FIFO semantics among the
+	// accepted actions are exactly those of a run that never submitted
+	// it.
+	QueueShed
+)
+
+// String labels the policy for flags and diagnostics.
+func (p QueuePolicy) String() string {
+	switch p {
+	case QueueBlock:
+		return "block"
+	case QueueShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("QueuePolicy(%d)", int(p))
+	}
+}
+
 // Config configures Init.
 type Config struct {
 	// Machine is the platform to run on. Required.
 	Machine *platform.Machine
 	// Mode selects real or simulated execution.
 	Mode Mode
+	// MaxQueueDepth bounds each stream's enqueued-but-incomplete
+	// action window. Zero keeps the window unbounded (the library
+	// default — batch harnesses manage their own pipelining). Serving
+	// front ends should set it: an unbounded queue lets one stalled
+	// sink absorb the process. Streams can override it individually
+	// with Stream.SetQueueBound.
+	MaxQueueDepth int
+	// QueuePolicy selects blocking or shedding when a bounded queue
+	// is full. The zero value is QueueBlock.
+	QueuePolicy QueuePolicy
 	// SourceOverhead is the modeled per-enqueue cost on the source
 	// thread (Sim mode only). Zero means free enqueues.
 	SourceOverhead time.Duration
@@ -159,15 +200,20 @@ type Runtime struct {
 	mets    *coreMetrics
 	obs     atomic.Pointer[[]metrics.Observer]
 
-	// mu is the small registry lock: stream/buffer enumeration, proxy
-	// allocation, kernel registration, and first-error state. The
-	// per-action hot path never takes it — scheduling state lives
-	// behind per-stream locks (Stream.mu) and the atomics below.
-	mu        sync.Mutex
-	nextProxy uint64
-	streams   []*Stream
-	bufs      []*Buf
-	firstErr  error
+	// mu is the small registry lock: stream/buffer enumeration, kernel
+	// registration, and first-error state. The per-action hot path
+	// never takes it — scheduling state lives behind per-stream locks
+	// (Stream.mu) and the atomics below. Proxy-range allocation has
+	// its own lock inside the AddrSpace.
+	mu       sync.Mutex
+	streams  []*Stream
+	bufs     []*Buf
+	firstErr error
+
+	// proxy allocates (and recycles) source proxy address ranges —
+	// the seed bump counter never reclaimed them, so a long-running
+	// server leaked address space on every Alloc1D/Free cycle.
+	proxy *fabric.AddrSpace
 
 	nextID      atomic.Uint64
 	outstanding atomic.Int64
@@ -214,6 +260,7 @@ func Init(cfg Config) (*Runtime, error) {
 		rec:     trace.New(),
 		runID:   nextRunID.Add(1),
 		reg:     reg,
+		proxy:   fabric.NewAddrSpace(proxyAlign),
 	}
 	rt.ktab.Store(&kernelTable{ids: make(map[string]int64)})
 	if !cfg.DisableCausalTrace {
@@ -272,7 +319,10 @@ func (rt *Runtime) initPlumbing() error {
 	return nil
 }
 
-// Fini synchronizes all outstanding work and shuts the library down.
+// Fini synchronizes all outstanding work, reclaims every still-live
+// buffer (so hstreams_buffers_live returns to its pre-Init baseline —
+// the leak check serving smoke tests assert on), and shuts the
+// library down.
 func (rt *Runtime) Fini() {
 	rt.ThreadSynchronize()
 	if rt.finalized.Swap(true) {
@@ -280,7 +330,14 @@ func (rt *Runtime) Fini() {
 	}
 	rt.mu.Lock()
 	procs := rt.procs
+	bufs := append([]*Buf(nil), rt.bufs...)
 	rt.mu.Unlock()
+	// All work is drained, so every remaining buffer has zero live
+	// references and reclaims immediately; card instances must go
+	// before their COI processes do.
+	for _, b := range bufs {
+		b.Free()
+	}
 	unregisterLive(rt)
 	rt.exec.fini()
 	for _, p := range procs {
@@ -396,6 +453,19 @@ func (rt *Runtime) RegisterKernel(name string, fn Kernel) {
 		next.list = append(next.list, fn)
 	}
 	rt.ktab.Store(next)
+}
+
+// Kernels returns the names of every registered kernel, sorted — the
+// capability set a serving front end advertises and negotiates
+// against.
+func (rt *Runtime) Kernels() []string {
+	t := rt.ktab.Load()
+	names := make([]string, 0, len(t.ids))
+	for name := range t.ids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (rt *Runtime) kernelByName(name string) (Kernel, int64, bool) {

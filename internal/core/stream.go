@@ -44,6 +44,12 @@ type Stream struct {
 	epoch   uint64
 	barrier *Action
 
+	// maxDepth bounds len(inflight); 0 is unbounded. policy picks
+	// block or shed at the bound. Both are guarded by mu and default
+	// to the runtime Config values.
+	maxDepth int
+	policy   QueuePolicy
+
 	// ndepth mirrors len(inflight) as an atomic so the Sim drain loop
 	// and the depth-peak gauge read it without taking mu.
 	ndepth atomic.Int64
@@ -99,11 +105,16 @@ func (rt *Runtime) StreamCreateOn(d *Domain, firstCore, nCores int, share *Strea
 		firstCore: firstCore,
 		nCores:    nCores,
 		index:     make(map[*Buf]*bufIvals),
+		maxDepth:  rt.cfg.MaxQueueDepth,
+		policy:    rt.cfg.QueuePolicy,
 	}
 	s.name = fmt.Sprintf("%s.s%d", d.spec.Name, s.id)
+	// met must be resolved before the stream is published in
+	// rt.streams: Progress() snapshots that slice under rt.mu and
+	// reads s.met without further coordination.
+	s.met = rt.mets.forStream(s.name, d.spec.Name)
 	rt.streams = append(rt.streams, s)
 	rt.mu.Unlock()
-	s.met = rt.mets.forStream(s.name, d.spec.Name)
 	// The per-domain stream count is the telemetry layer's capacity
 	// basis (utilization = busy-seconds / (span × streams)); streams
 	// are never destroyed below the runtime, so the gauge only rises.
@@ -146,6 +157,25 @@ func (s *Stream) Domain() *Domain { return s.domain }
 
 // Width returns the number of cores granted to the sink.
 func (s *Stream) Width() int { return s.nCores }
+
+// SetQueueBound overrides the stream's queue bound and full-queue
+// policy (the defaults come from Config.MaxQueueDepth/QueuePolicy).
+// depth 0 removes the bound. Enqueues already blocked on the old
+// bound re-evaluate against the new one as they retry.
+func (s *Stream) SetQueueBound(depth int, policy QueuePolicy) {
+	s.mu.Lock()
+	s.maxDepth = depth
+	s.policy = policy
+	s.mu.Unlock()
+}
+
+// QueueBound returns the stream's current queue bound (0 when
+// unbounded) and full-queue policy.
+func (s *Stream) QueueBound() (depth int, policy QueuePolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxDepth, s.policy
+}
 
 // EnqueueCompute enqueues a kernel invocation
 // (hStreams_EnqueueCompute). The kernel is looked up by name at the

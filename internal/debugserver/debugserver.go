@@ -25,6 +25,7 @@ import (
 	"hstreams/internal/fabric"
 	"hstreams/internal/health"
 	"hstreams/internal/metrics"
+	"hstreams/internal/serve"
 	"hstreams/internal/telemetry"
 	"hstreams/internal/trace"
 )
@@ -47,6 +48,10 @@ type Options struct {
 	// default engine over the resolved Telemetry/Registry/Runtimes
 	// with the default rule pack and the process-wide journal.
 	Health *health.Engine
+	// Tenants, when set, serves /debug/tenants with the serving front
+	// end's per-tenant status (serve.Server.Tenants). Nil processes
+	// (the batch CLIs) answer 404 there.
+	Tenants func() []serve.TenantStatus
 }
 
 // fill resolves every nil Options field to its process-wide default.
@@ -121,7 +126,33 @@ func newMux(opt Options) *http.ServeMux {
 	mux.HandleFunc("/debug/timeline", timelineHandler(opt.Telemetry, opt.Registry))
 	mux.HandleFunc("/debug/health", healthHandler(opt.Health))
 	mux.HandleFunc("/debug/events", eventsHandler(opt.Health.Journal()))
+	if opt.Tenants != nil {
+		mux.HandleFunc("/debug/tenants", tenantsHandler(opt.Tenants))
+	}
 	return mux
+}
+
+// tenantsHandler serves the serving layer's per-tenant snapshot:
+// JSON by default, ?format=text for a fixed-width table.
+func tenantsHandler(tenants func() []serve.TenantStatus) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ts := tenants()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "%-16s %6s %7s %7s %8s %8s %9s %12s\n",
+				"tenant", "weight", "pending", "inflight", "actions", "streams", "buffers", "buf-bytes")
+			for _, t := range ts {
+				fmt.Fprintf(w, "%-16s %6d %7d %7d %8d %8d %9d %12d\n",
+					t.Name, t.Quotas.Weight, t.Pending, t.Inflight,
+					t.Actions, len(t.Streams), t.Buffers, t.BufferBytes)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ts)
+	}
 }
 
 func indexHandler(w http.ResponseWriter, r *http.Request) {
@@ -148,6 +179,9 @@ func indexHandler(w http.ResponseWriter, r *http.Request) {
                         ?probe=live|ready for 200/503 probe semantics)
   /debug/events         structured event journal (JSON; ?format=text to
                         render, ?n=50 to limit)
+  /debug/tenants        serving front end tenant status: quotas, queues,
+                        fair-share pass (JSON; ?format=text to render;
+                        404 unless the process runs a serving layer)
 `)
 }
 

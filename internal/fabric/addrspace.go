@@ -1,0 +1,122 @@
+package fabric
+
+import "sync"
+
+// AddrSpace is an allocator for a flat, append-only address space with
+// range recycling — the source proxy address space of hStreams buffers.
+// The seed runtime bump-allocated proxy ranges and never reclaimed
+// them, which is fine for a batch run but leaks address space (and the
+// per-range bookkeeping above it) in a long-running server that
+// allocates and frees buffers continuously.
+//
+// Alloc returns the base of a range satisfying the configured
+// alignment, preferring recycled ranges (first fit over a free list
+// kept sorted and coalesced by base address) and falling back to
+// bumping the high-water mark. Free returns a range to the free list,
+// merging it with adjacent free neighbors so fragmentation stays
+// bounded by the live-range count, not the allocation count.
+//
+// AddrSpace is safe for concurrent use.
+type AddrSpace struct {
+	mu    sync.Mutex
+	align uint64
+	next  uint64 // high-water mark: everything at and above is free
+	free  []addrRange
+
+	recycled  uint64 // allocations served from the free list
+	frees     uint64 // total Free calls
+	freeBytes uint64 // bytes currently on the free list
+}
+
+// addrRange is one recycled [base, base+size) range.
+type addrRange struct{ base, size uint64 }
+
+// NewAddrSpace returns an empty address space whose allocations are
+// aligned to align bytes (align must be a power of two; 0 means 1).
+func NewAddrSpace(align uint64) *AddrSpace {
+	if align == 0 {
+		align = 1
+	}
+	return &AddrSpace{align: align}
+}
+
+// roundUp rounds n up to the allocator's alignment.
+func (as *AddrSpace) roundUp(n uint64) uint64 {
+	return (n + as.align - 1) / as.align * as.align
+}
+
+// Alloc reserves size bytes and returns the range's base address.
+// The reserved extent is rounded up to the alignment, so Free must be
+// called with the same size for the range to recycle fully.
+func (as *AddrSpace) Alloc(size uint64) uint64 {
+	n := as.roundUp(size)
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for i, r := range as.free {
+		if r.size < n {
+			continue
+		}
+		base := r.base
+		if r.size == n {
+			as.free = append(as.free[:i], as.free[i+1:]...)
+		} else {
+			as.free[i] = addrRange{base: r.base + n, size: r.size - n}
+		}
+		as.recycled++
+		as.freeBytes -= n
+		return base
+	}
+	base := as.next
+	as.next += n
+	return base
+}
+
+// Free returns the range [base, base+size) to the allocator. size is
+// rounded up to the alignment, matching Alloc's reservation. A range
+// adjacent to the high-water mark lowers the mark instead of joining
+// the free list; otherwise it is inserted in base order and coalesced
+// with adjacent free neighbors.
+func (as *AddrSpace) Free(base, size uint64) {
+	n := as.roundUp(size)
+	if n == 0 {
+		return
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.frees++
+	// Insert keeping the list sorted by base.
+	i := 0
+	for i < len(as.free) && as.free[i].base < base {
+		i++
+	}
+	as.free = append(as.free, addrRange{})
+	copy(as.free[i+1:], as.free[i:])
+	as.free[i] = addrRange{base: base, size: n}
+	as.freeBytes += n
+	// Coalesce with the right neighbor, then the left.
+	if i+1 < len(as.free) && as.free[i].base+as.free[i].size == as.free[i+1].base {
+		as.free[i].size += as.free[i+1].size
+		as.free = append(as.free[:i+1], as.free[i+2:]...)
+	}
+	if i > 0 && as.free[i-1].base+as.free[i-1].size == as.free[i].base {
+		as.free[i-1].size += as.free[i].size
+		as.free = append(as.free[:i], as.free[i+1:]...)
+		i--
+	}
+	// A block ending at the high-water mark gives its bytes back to
+	// the bump region, so a fully-drained space returns to pristine.
+	if last := len(as.free) - 1; last >= 0 && as.free[last].base+as.free[last].size == as.next {
+		as.next = as.free[last].base
+		as.freeBytes -= as.free[last].size
+		as.free = as.free[:last]
+	}
+}
+
+// Stats reports allocator state: the high-water mark, bytes currently
+// recyclable on the free list, allocations served from recycled
+// ranges, and total frees.
+func (as *AddrSpace) Stats() (highWater, freeBytes, recycled, frees uint64) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.next, as.freeBytes, as.recycled, as.frees
+}

@@ -299,5 +299,16 @@ func DefaultRules() []Rule {
 			Warn: 0.05, Critical: math.Inf(1),
 			Help: "p99 of ready-to-launch latency: resource contention ahead of execution. Warn at 50ms; in Sim mode the histogram is virtual-clock seconds, so compare trends, not the absolute bound.",
 		},
+		{
+			Name: "tenant-shed", Kind: RuleRate,
+			Series: "hstreams_tenant_shed_total", Critical: math.Inf(1),
+			Help: "A serving tenant is being load-shed (admission pending-full or stream-queue-full). Ticket-level: expected under deliberate overload, but sustained shed on one tenant means its weight or queue depth no longer matches its offered load — see the 'queue-depth saturation' playbook in OPERATIONS.md.",
+		},
+		{
+			Name: "tenant-admission-wait-p99", Kind: RuleQuantile,
+			Series: "hstreams_tenant_admission_wait_seconds", Quantile: 0.99,
+			Warn: 1, Critical: math.Inf(1),
+			Help: "p99 time a tenant's admitted requests wait before dispatch: the starvation proxy. Warn at 1s; one tenant warning while others are quiet means its fair-share weight is too low for its load — see the 'tenant starved' playbook in OPERATIONS.md.",
+		},
 	}
 }

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hstreams/internal/core"
+	"hstreams/internal/platform"
+)
+
+// strideScale is the stride numerator: a tenant of weight w advances
+// its pass by strideScale/w per dispatched action, so relative
+// dispatch rates equal relative weights regardless of absolute
+// magnitudes.
+const strideScale = 1 << 20
+
+// submission is one admitted-but-not-yet-dispatched action. Ownership
+// moves from the tenant's pending queue to the dispatcher at pop;
+// whoever owns it calls finish exactly once.
+type submission struct {
+	t      *Tenant
+	kernel string
+	args   []int64
+	ops    []core.Operand
+	enq    time.Time
+	done   chan subResult // buffered(1); finish never blocks
+}
+
+// subResult is what a submission resolves to: a launched action, a
+// shadow-mode completion (both nil), or an admission/enqueue error.
+type subResult struct {
+	action *core.Action
+	err    error
+}
+
+// finish resolves the submission. Single caller by ownership; the
+// buffered channel makes it non-blocking.
+func (sub *submission) finish(r subResult) { sub.done <- r }
+
+// SubmitRequest describes one compute action a tenant submits.
+type SubmitRequest struct {
+	// Kernel names a registered kernel.
+	Kernel string
+	// Args are the kernel's scalar arguments.
+	Args []int64
+	// Ops are the action's memory operands (resolved tenant buffers).
+	Ops []core.Operand
+}
+
+// Submit admits one compute action for the tenant and blocks until
+// the fair-share dispatcher has enqueued it into a tenant stream
+// (or refused it). The returned action is the completion event; it is
+// nil in shadow mode, where dispatch is the completion. When the
+// tenant's pending queue is at MaxPending, Submit blocks
+// (OnFull "block", honoring ctx cancellation) or fails fast with
+// ErrPendingFull (OnFull "shed").
+func (s *Server) Submit(ctx context.Context, tenant string, req SubmitRequest) (*core.Action, error) {
+	s.mu.Lock()
+	t, ok := s.tenants[tenant]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoTenant, tenant)
+	}
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if t.closing {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrTenantClosing, tenant)
+		}
+		if len(t.pending) < t.q.MaxPending {
+			break
+		}
+		if t.q.OnFull == "shed" {
+			s.mu.Unlock()
+			s.mets.shed.With(tenant, "pending-full").Inc()
+			return nil, fmt.Errorf("%w: %q at %d", ErrPendingFull, tenant, t.q.MaxPending)
+		}
+		if err := ctx.Err(); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		// Blocking backpressure: wait for queue space. The AfterFunc
+		// broadcast is registered under s.mu, so a cancellation cannot
+		// slip between the Err check above and the Wait below.
+		stop := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		s.cond.Wait()
+		stop()
+	}
+	sub := &submission{
+		t:      t,
+		kernel: req.Kernel,
+		args:   req.Args,
+		ops:    req.Ops,
+		enq:    time.Now(),
+		done:   make(chan subResult, 1),
+	}
+	t.pending = append(t.pending, sub)
+	t.mPending.Set(int64(len(t.pending)))
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	r := <-sub.done
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.action, nil
+}
+
+// pickLocked returns the runnable tenant (non-empty pending queue)
+// with the smallest pass — the stride scheduling rule. Ties break by
+// name so the order is deterministic. Caller holds s.mu.
+func (s *Server) pickLocked() *Tenant {
+	var best *Tenant
+	for _, t := range s.tenants {
+		if len(t.pending) == 0 {
+			continue
+		}
+		if best == nil || t.pass < best.pass ||
+			(t.pass == best.pass && t.name < best.name) {
+			best = t
+		}
+	}
+	return best
+}
+
+// dispatcher is the admission loop: repeatedly pick the minimum-pass
+// runnable tenant, charge its stride, take a server-wide in-service
+// slot, and hand the submission to a worker goroutine. Under
+// saturation every tenant always has pending work, so dispatch counts
+// — and therefore completed-action throughput — converge to the
+// weight ratios.
+func (s *Server) dispatcher() {
+	defer close(s.dispatcherDone)
+	s.mu.Lock()
+	for {
+		t := s.pickLocked()
+		if t == nil {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		sub := t.pending[0]
+		copy(t.pending, t.pending[1:])
+		t.pending[len(t.pending)-1] = nil
+		t.pending = t.pending[:len(t.pending)-1]
+		t.pass += strideScale / float64(t.q.Weight)
+		s.gpass = t.pass
+		t.inflight++
+		t.mPending.Set(int64(len(t.pending)))
+		t.mInflight.Set(int64(t.inflight))
+		s.cond.Broadcast() // pending space freed; blocked Submits retry
+		s.mu.Unlock()
+
+		<-s.slots // take an in-service slot; completions return it
+		t.mWait.Observe(time.Since(sub.enq))
+		go s.run(t, sub)
+		s.mu.Lock()
+	}
+}
+
+// run executes one dispatched submission: enqueue into the tenant's
+// next stream (round-robin over the group), resolve the submitter,
+// wait for retirement, and return the slot. In shadow mode dispatch
+// is completion.
+func (s *Server) run(t *Tenant, sub *submission) {
+	if s.opt.Shadow {
+		t.mActions.Inc()
+		sub.finish(subResult{})
+		s.release(t)
+		return
+	}
+	s.mu.Lock()
+	st := t.streams[t.next%len(t.streams)]
+	t.next++
+	s.mu.Unlock()
+	a, err := st.EnqueueCompute(sub.kernel, sub.args, sub.ops, platform.Cost{})
+	if err != nil {
+		if errors.Is(err, core.ErrQueueFull) {
+			s.mets.shed.With(t.name, "stream-queue-full").Inc()
+		}
+		sub.finish(subResult{err: err})
+		s.release(t)
+		return
+	}
+	sub.finish(subResult{action: a})
+	_ = a.Wait()
+	t.mActions.Inc()
+	s.release(t)
+}
+
+// release returns an in-service slot and retires the tenant's
+// inflight count, waking the dispatcher and any drain waiting on the
+// tenant.
+func (s *Server) release(t *Tenant) {
+	s.slots <- struct{}{}
+	s.mu.Lock()
+	t.inflight--
+	t.mInflight.Set(int64(t.inflight))
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"hstreams/internal/core"
+	"hstreams/internal/metrics"
+)
+
+// Quotas bounds one tenant's footprint on the shared runtime. Zero
+// values take the server defaults (Options); Weight additionally
+// drives the fair-share scheduler.
+type Quotas struct {
+	// Weight is the tenant's fair-share weight: under saturation,
+	// tenants complete work in proportion to their weights. Values
+	// < 1 default to 1.
+	Weight int `json:"weight"`
+	// MaxStreams is the tenant's stream-group size. 0 takes
+	// Options.StreamsPerTenant.
+	MaxStreams int `json:"max_streams,omitempty"`
+	// MaxBufferBytes caps the tenant's total live buffer bytes.
+	// 0 means unlimited.
+	MaxBufferBytes int64 `json:"max_buffer_bytes,omitempty"`
+	// QueueDepth bounds each tenant stream's incomplete-action
+	// window. 0 takes Options.DefaultQueueDepth.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// OnFull picks the behavior when the tenant's pending queue is at
+	// MaxPending: "block" (backpressure the submitter; the default)
+	// or "shed" (fail fast with 429 / ErrPendingFull). Tenant streams
+	// always shed at QueueDepth — the dispatcher never parks on a
+	// full stream.
+	OnFull string `json:"on_full,omitempty"`
+	// MaxPending bounds submissions admitted but not yet dispatched.
+	// 0 takes Options.DefaultMaxPending.
+	MaxPending int `json:"max_pending,omitempty"`
+}
+
+// Tenant is one registered client: a stream group, a buffer set, and
+// an admission queue, all bounded by its Quotas. All mutable state is
+// guarded by the server's lock.
+type Tenant struct {
+	name    string
+	q       Quotas
+	streams []*core.Stream
+	next    int // round-robin cursor over streams
+	bufs    map[string]*core.Buf
+	// bufBytes tracks live buffer bytes against MaxBufferBytes; in
+	// shadow mode (no runtime) bufs values are nil and only the
+	// accounting exists.
+	bufBytes   int64
+	shadowBufs map[string]int64
+
+	pending  []*submission
+	inflight int
+	closing  bool
+
+	// pass is the stride-scheduler virtual time: it advances by
+	// strideScale/Weight per dispatch, and the runnable tenant with
+	// the smallest pass is served next.
+	pass float64
+
+	// Resolved per-tenant metric handles.
+	mActions  *metrics.Counter
+	mInflight *metrics.Gauge
+	mPending  *metrics.Gauge
+	mBufBytes *metrics.Gauge
+	mStreams  *metrics.Gauge
+	mWeight   *metrics.Gauge
+	mWait     *metrics.Histogram
+}
+
+// TenantStatus is a point-in-time snapshot of one tenant, served by
+// GET /v1/tenants and /debug/tenants.
+type TenantStatus struct {
+	// Name is the tenant's registered name.
+	Name string `json:"name"`
+	// Quotas echoes the tenant's resolved quota set.
+	Quotas Quotas `json:"quotas"`
+	// Streams lists the tenant's stream names.
+	Streams []string `json:"streams"`
+	// Buffers counts the tenant's live buffers.
+	Buffers int `json:"buffers"`
+	// BufferBytes is the tenant's live buffer footprint.
+	BufferBytes int64 `json:"buffer_bytes"`
+	// Pending counts admitted-but-undispatched submissions.
+	Pending int `json:"pending"`
+	// Inflight counts dispatched-but-incomplete submissions.
+	Inflight int `json:"inflight"`
+	// Actions is the tenant's completed-action total.
+	Actions int64 `json:"actions"`
+	// Pass is the stride scheduler's virtual time for the tenant —
+	// runnable tenants are served smallest-pass first.
+	Pass float64 `json:"pass"`
+	// Closing reports a tenant mid-deletion.
+	Closing bool `json:"closing,omitempty"`
+}
+
+// Register creates a tenant with the given quotas and builds its
+// stream group. Stream groups overlap on the serving domain's cores;
+// isolation is by admission, not by core partitioning.
+func (s *Server) Register(name string, q Quotas) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty tenant name")
+	}
+	if q.Weight < 1 {
+		q.Weight = 1
+	}
+	if q.MaxStreams < 1 {
+		q.MaxStreams = s.opt.StreamsPerTenant
+	}
+	if q.QueueDepth < 1 {
+		q.QueueDepth = s.opt.DefaultQueueDepth
+	}
+	if q.MaxPending < 1 {
+		q.MaxPending = s.opt.DefaultMaxPending
+	}
+	switch q.OnFull {
+	case "":
+		q.OnFull = "block"
+	case "block", "shed":
+	default:
+		return nil, fmt.Errorf("serve: bad on_full %q (want block or shed)", q.OnFull)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := s.tenants[name]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, name)
+	}
+	t := &Tenant{
+		name: name,
+		q:    q,
+		bufs: make(map[string]*core.Buf),
+		// A fresh tenant starts at the global pass so it cannot burn
+		// banked credit against incumbents.
+		pass:      s.gpass,
+		mActions:  s.mets.actions.With(name),
+		mInflight: s.mets.inflight.With(name),
+		mPending:  s.mets.pending.With(name),
+		mBufBytes: s.mets.bufBytes.With(name),
+		mStreams:  s.mets.streams.With(name),
+		mWeight:   s.mets.weight.With(name),
+		mWait:     s.mets.wait.With(name),
+	}
+	if s.opt.Shadow {
+		t.shadowBufs = make(map[string]int64)
+	}
+	s.tenants[name] = t
+	s.mu.Unlock()
+
+	if s.rt != nil {
+		for i := 0; i < q.MaxStreams; i++ {
+			st, err := s.rt.StreamCreate(s.domain, 0, s.opt.StreamWidth)
+			if err != nil {
+				s.mu.Lock()
+				delete(s.tenants, name)
+				s.mu.Unlock()
+				return nil, fmt.Errorf("serve: creating stream %d for %q: %w", i, name, err)
+			}
+			// Tenant streams always shed at the bound: the dispatcher
+			// must never park on a full stream while holding a slot.
+			st.SetQueueBound(q.QueueDepth, core.QueueShed)
+			t.streams = append(t.streams, st)
+		}
+	}
+	t.mWeight.Set(int64(q.Weight))
+	t.mStreams.Set(int64(len(t.streams)))
+	return t, nil
+}
+
+// Unregister drains and deletes a tenant: new submissions are
+// refused, pending ones are shed, in-service ones retire, streams are
+// destroyed, and every tenant buffer is freed.
+func (s *Server) Unregister(name string) error {
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoTenant, name)
+	}
+	if t.closing {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrTenantClosing, name)
+	}
+	t.closing = true
+	// Shed everything still waiting for dispatch.
+	pending := t.pending
+	t.pending = nil
+	t.mPending.Set(0)
+	for _, sub := range pending {
+		sub.finish(subResult{err: fmt.Errorf("%w: %q", ErrTenantClosing, name)})
+		s.mets.shed.With(name, "tenant-closing").Inc()
+	}
+	// Wait for in-service submissions to retire.
+	for t.inflight > 0 {
+		s.cond.Wait()
+	}
+	delete(s.tenants, name)
+	bufs := t.bufs
+	t.bufs = nil
+	streams := t.streams
+	s.mu.Unlock()
+
+	var firstErr error
+	for _, st := range streams {
+		if err := st.Destroy(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, b := range bufs {
+		if b != nil {
+			if err := b.Free(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	t.mBufBytes.Set(0)
+	t.mStreams.Set(0)
+	t.mInflight.Set(0)
+	return firstErr
+}
+
+// tenant resolves a live tenant by name.
+func (s *Server) tenant(name string) (*Tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTenant, name)
+	}
+	if t.closing {
+		return nil, fmt.Errorf("%w: %q", ErrTenantClosing, name)
+	}
+	return t, nil
+}
+
+// Tenants snapshots every tenant's status, sorted by name — the
+// payload behind GET /v1/tenants and the debug server's
+// /debug/tenants.
+func (s *Server) Tenants() []TenantStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStatus, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, s.statusLocked(t))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// statusLocked snapshots one tenant. Caller holds s.mu.
+func (s *Server) statusLocked(t *Tenant) TenantStatus {
+	st := TenantStatus{
+		Name:        t.name,
+		Quotas:      t.q,
+		Buffers:     len(t.bufs) + len(t.shadowBufs),
+		BufferBytes: t.bufBytes,
+		Pending:     len(t.pending),
+		Inflight:    t.inflight,
+		Actions:     t.mActions.Value(),
+		Pass:        t.pass,
+		Closing:     t.closing,
+	}
+	for _, str := range t.streams {
+		st.Streams = append(st.Streams, str.Name())
+	}
+	return st
+}
+
+// AllocBuffer creates a named buffer owned by the tenant, counted
+// against its MaxBufferBytes quota. In shadow mode only the
+// accounting exists.
+func (s *Server) AllocBuffer(tenant, name string, size int64) (*core.Buf, error) {
+	if size <= 0 {
+		return nil, core.ErrBadBufferSize
+	}
+	t, err := s.tenant(tenant)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if _, ok := t.bufs[name]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: buffer %q exists for tenant %q", name, tenant)
+	}
+	if _, ok := t.shadowBufs[name]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: buffer %q exists for tenant %q", name, tenant)
+	}
+	if t.q.MaxBufferBytes > 0 && t.bufBytes+size > t.q.MaxBufferBytes {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: tenant %q buffer bytes %d+%d > %d",
+			ErrQuota, tenant, t.bufBytes, size, t.q.MaxBufferBytes)
+	}
+	// Reserve the quota before the (lock-free) runtime allocation so
+	// concurrent allocs cannot oversubscribe it.
+	t.bufBytes += size
+	s.mu.Unlock()
+
+	var b *core.Buf
+	if s.rt != nil {
+		b, err = s.rt.Alloc1D(tenant+"/"+name, size)
+		if err != nil {
+			s.mu.Lock()
+			t.bufBytes -= size
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	if s.opt.Shadow {
+		t.shadowBufs[name] = size
+	} else {
+		t.bufs[name] = b
+	}
+	s.mu.Unlock()
+	t.mBufBytes.Add(size)
+	return b, nil
+}
+
+// FreeBuffer frees a tenant buffer and returns its bytes to the
+// quota. Reclamation defers until in-flight references retire (see
+// core.Buf.Free); the quota is returned immediately — the tenant
+// committed to the free.
+func (s *Server) FreeBuffer(tenant, name string) error {
+	t, err := s.tenant(tenant)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	b, ok := t.bufs[name]
+	size := int64(0)
+	if ok {
+		size = b.Size()
+		delete(t.bufs, name)
+	} else if sz, sok := t.shadowBufs[name]; sok {
+		ok, size = true, sz
+		delete(t.shadowBufs, name)
+	}
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: no buffer %q for tenant %q", name, tenant)
+	}
+	t.bufBytes -= size
+	s.mu.Unlock()
+	t.mBufBytes.Add(-size)
+	if b != nil {
+		return b.Free()
+	}
+	return nil
+}
+
+// buffer resolves a tenant buffer by name.
+func (s *Server) buffer(t *Tenant, name string) (*core.Buf, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := t.bufs[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no buffer %q for tenant %q", name, t.name)
+	}
+	return b, nil
+}

@@ -1,0 +1,91 @@
+#!/bin/sh
+# serve_smoke.sh — the serving layer's CI gate (make serve-smoke).
+#
+# Boots hsserve with two pre-registered tenants at 2:1 weights, drives
+# both to saturation with hsbench's closed-loop load mode, and asserts:
+#
+#   1. completed-work shares match the weights within ±10%,
+#   2. no stream's queue-depth peak exceeded the configured bound,
+#   3. the tenant quota metric families are populated,
+#   4. shutdown is graceful with zero leaked buffers.
+#
+# Run from the repository root. Uses only sh, curl and the go
+# toolchain; the server binds an ephemeral port.
+set -eu
+
+DURATION=${SERVE_SMOKE_DURATION:-4s}
+COST=${SERVE_SMOKE_COST:-5ms}
+DEPTH=4
+
+log=$(mktemp); gold=$(mktemp); bronze=$(mktemp); body=$(mktemp)
+trap 'kill $pid 2>/dev/null || true; rm -f "$log" "$gold" "$bronze" "$body"' EXIT INT TERM
+
+go build -o /tmp/serve_smoke_hsserve ./cmd/hsserve
+go build -o /tmp/serve_smoke_hsbench ./cmd/hsbench
+
+/tmp/serve_smoke_hsserve -addr 127.0.0.1:0 -max-inflight 4 -queue-depth $DEPTH \
+    -tenant gold:2 -tenant bronze:1 >"$log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 120); do
+    addr=$(sed -n 's,^hsserve listening on http://\([^ ]*\).*,\1,p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 $pid 2>/dev/null || { echo "hsserve exited early:"; cat "$log"; exit 1; }
+    sleep 0.5
+done
+if [ -z "$addr" ]; then
+    echo "hsserve never announced its address:"; cat "$log"; exit 1
+fi
+echo "hsserve at $addr"
+
+# Two concurrent closed-loop load generators; both saturate the
+#4-action service pool, so completions divide by weight.
+/tmp/serve_smoke_hsbench -load-url "http://$addr" -load-tenant gold \
+    -load-concurrency 8 -load-cost "$COST" -load-duration "$DURATION" >"$gold" 2>&1 &
+gpid=$!
+/tmp/serve_smoke_hsbench -load-url "http://$addr" -load-tenant bronze \
+    -load-concurrency 8 -load-cost "$COST" -load-duration "$DURATION" >"$bronze" 2>&1 &
+bpid=$!
+wait $gpid || { echo "gold load failed:"; cat "$gold"; exit 1; }
+wait $bpid || { echo "bronze load failed:"; cat "$bronze"; exit 1; }
+cat "$gold" "$bronze"
+
+g=$(sed -n 's/.*ok=\([0-9]*\).*/\1/p' "$gold")
+b=$(sed -n 's/.*ok=\([0-9]*\).*/\1/p' "$bronze")
+if [ -z "$g" ] || [ -z "$b" ] || [ "$b" -eq 0 ]; then
+    echo "FAIL: missing load summaries (gold='$g' bronze='$b')"; exit 1
+fi
+
+# 1. Fair share: gold/bronze must be 2.0 ± 10%.
+awk -v g="$g" -v b="$b" 'BEGIN {
+    r = g / b
+    printf "fair-share ratio gold/bronze = %.3f (want 2.0 +/- 10%%)\n", r
+    exit !(r >= 1.8 && r <= 2.2)
+}' || { echo "FAIL: fair-share ratio out of tolerance"; exit 1; }
+
+# 2 + 3. Scrape /metrics: queue-depth peaks within bound, tenant
+# families populated.
+curl -sS --max-time 10 "http://$addr/metrics" >"$body"
+peak=$(awk '$1 ~ /^hstreams_queue_depth_peak\{/ { if ($2+0 > m) m = $2+0 } END { print m+0 }' "$body")
+echo "queue-depth peak across streams = $peak (bound $DEPTH)"
+[ "$peak" -le "$DEPTH" ] || { echo "FAIL: queue-depth peak $peak exceeds bound $DEPTH"; exit 1; }
+for fam in hstreams_tenant_actions_total hstreams_tenant_weight \
+           hstreams_tenant_admission_wait_seconds_count hstreams_buffers_live; do
+    grep -q "^$fam" "$body" || { echo "FAIL: /metrics lacks $fam"; exit 1; }
+done
+grep -q 'hstreams_tenant_weight{tenant="gold"} 2' "$body" \
+    || { echo "FAIL: gold weight not exported as 2"; exit 1; }
+
+# 4. Graceful shutdown with zero leaked buffers.
+kill -TERM $pid
+for _ in $(seq 1 60); do
+    kill -0 $pid 2>/dev/null || break
+    sleep 0.5
+done
+if kill -0 $pid 2>/dev/null; then
+    echo "FAIL: hsserve did not exit after SIGTERM"; cat "$log"; exit 1
+fi
+wait $pid || { echo "FAIL: hsserve exited nonzero:"; cat "$log"; exit 1; }
+grep -q 'leaked buffers: 0' "$log" || { echo "FAIL: leak check:"; cat "$log"; exit 1; }
+echo "serve-smoke ok: shutdown clean, zero leaked buffers"
